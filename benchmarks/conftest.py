@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every figure benchmark regenerates its paper figure once (simulations are
+deterministic, so repeated rounds would measure nothing new), records the
+headline numbers in ``benchmark.extra_info``, asserts the figure's
+qualitative *shape* (who wins, by roughly what factor), and prints the
+reproduced table when run with ``-s``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

@@ -1,0 +1,57 @@
+"""Bench: the ablation sweeps for DESIGN.md's called-out design choices.
+
+These are not paper figures; they quantify the knobs the paper fixes:
+α (sample size), the P-LMTF admission policy, the migration-set heuristic,
+and the round-barrier reading of the timing model.
+"""
+
+from repro.experiments import ablations
+
+
+def test_alpha_sweep(once):
+    result = once(ablations.alpha_sweep, seed=0, events=30,
+                  alphas=(1, 2, 4))
+    print()
+    print(result.to_table())
+    by_alpha = {row["alpha"]: row for row in result.rows}
+    # the paper's power-of-two-choices remark: alpha=2 already captures a
+    # solid share of alpha=4's P-LMTF benefit
+    assert by_alpha[2]["plmtf_avg_ect_red%"] > 0
+    # plan time grows with alpha for LMTF
+    assert by_alpha[4]["lmtf_plan_s"] > by_alpha[1]["lmtf_plan_s"]
+
+
+def test_admission_sweep(once):
+    result = once(ablations.admission_sweep, seed=0, events=30)
+    print()
+    print(result.to_table())
+    by_mode = {row["admit"]: row for row in result.rows}
+    # 'feasible' maximizes parallelism (fewest rounds) but pays in cost
+    assert by_mode["feasible"]["rounds"] <= by_mode["free"]["rounds"]
+    assert by_mode["feasible"]["cost_red%"] <= by_mode["free"]["cost_red%"]
+    # 'shared' admission plans the least (probe-plan reuse)
+    assert by_mode["shared"]["plan_s"] <= by_mode["nocontention"]["plan_s"]
+
+
+def test_migration_strategies(once):
+    result = once(ablations.migration_strategies, seed=0, events=10)
+    print()
+    print(result.to_table())
+    by_strategy = {row["strategy"]: row for row in result.rows}
+    # the paper's minimum-traffic goal: best_fit never migrates more
+    # traffic than largest_first
+    assert by_strategy["best_fit"]["total_cost"] <= \
+        by_strategy["largest_first"]["total_cost"] + 1e-6
+
+
+def test_barrier_sweep(once):
+    result = once(ablations.barrier_sweep, seed=0, events=30)
+    print()
+    print(result.to_table())
+    completion = {row["scheduler"]: row for row in result.rows
+                  if row["barrier"] == "completion"}
+    setup = {row["scheduler"]: row for row in result.rows
+             if row["barrier"] == "setup"}
+    # the pipelined reading excludes flow transmissions from ECT
+    for name in ("fifo", "lmtf", "plmtf"):
+        assert setup[name]["avg_ect_s"] < completion[name]["avg_ect_s"]

@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the hot code paths.
+
+These run with pytest-benchmark's normal statistics (many rounds) since they
+are sub-millisecond operations: flow placement, what-if view probing, cost
+planning, and Fat-Tree path enumeration. They guard against accidental
+complexity regressions in the planner's inner loop — the component every
+LMTF round calls α+1 times.
+"""
+
+import random
+
+import pytest
+
+from repro.core.event import make_event
+from repro.core.flow import Flow, next_flow_id
+from repro.core.planner import EventPlanner
+from repro.network.routing.provider import PathProvider
+from repro.network.topology.fattree import FatTreeTopology
+from repro.network.view import NetworkView
+from repro.traces.background import BackgroundLoader
+from repro.traces.benson import BensonLikeTrace
+from repro.traces.yahoo import YahooLikeTrace
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    topo = FatTreeTopology(k=8)
+    provider = PathProvider(topo)
+    network = topo.network()
+    trace = YahooLikeTrace(topo.hosts(), seed=1)
+    BackgroundLoader(network, provider, trace,
+                     random.Random(2)).load_to_utilization(0.7)
+    return topo, provider, network
+
+
+def test_place_remove_roundtrip(benchmark, loaded):
+    topo, provider, network = loaded
+    path = provider.paths("h0_0_0", "h7_3_3")[0]
+
+    def place_remove():
+        flow = Flow(flow_id=next_flow_id(), src="h0_0_0", dst="h7_3_3",
+                    demand=1.0)
+        network.place(flow, path)
+        network.remove(flow.flow_id)
+
+    benchmark(place_remove)
+
+
+def test_view_probe_overhead(benchmark, loaded):
+    topo, provider, network = loaded
+    path = provider.paths("h0_0_0", "h7_3_3")[0]
+
+    def probe():
+        view = NetworkView(network)
+        flow = Flow(flow_id=next_flow_id(), src="h0_0_0", dst="h7_3_3",
+                    demand=1.0)
+        view.place(flow, path)
+        return view.path_residual(path)
+
+    benchmark(probe)
+
+
+def test_path_residual(benchmark, loaded):
+    topo, provider, network = loaded
+    paths = provider.paths("h0_0_0", "h7_3_3")
+
+    def residuals():
+        return [network.path_residual(p) for p in paths]
+
+    benchmark(residuals)
+
+
+def test_fattree_path_enumeration(benchmark):
+    topo = FatTreeTopology(k=8)
+    topo.graph()  # build outside the timed region
+
+    def enumerate_paths():
+        return topo.equal_cost_paths("h0_0_0", "h7_3_3")
+
+    result = benchmark(enumerate_paths)
+    assert len(result) == 16
+
+
+def test_event_cost_probe(benchmark, loaded):
+    """One LMTF cost probe: plan a 30-flow event on a throwaway view."""
+    topo, provider, network = loaded
+    planner = EventPlanner(provider)
+    trace = BensonLikeTrace(topo.hosts(), seed=5, duration_median=1.0)
+    event = make_event(trace.flows(30))
+    rng = random.Random(6)
+
+    def probe():
+        return planner.probe_cost(network, event, rng)
+
+    benchmark(probe)
+
+
+def test_network_copy(benchmark, loaded):
+    __, __provider, network = loaded
+    benchmark(network.copy)

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 1 — flow-placement success probability vs
+utilization for the Yahoo!-like and Benson-like traces.
+
+Shape asserted: success probability (on the flow's desired path, without
+migration) decreases as utilization rises, for every flow size and both
+traces — the paper's motivating observation.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_success_probability(once):
+    result = once(fig1.run, seed=0, probes=200,
+                  utilizations=(0.2, 0.4, 0.6, 0.8))
+    print()
+    print(result.to_table())
+
+    for trace in ("yahoo", "benson"):
+        for size in fig1.FLOW_SIZES:
+            series = [(row["utilization"], row["desired_path_success"])
+                      for row in result.rows
+                      if row["trace"] == trace and row["flow_mbps"] == size]
+            series.sort()
+            lows = [s for __, s in series[:2]]
+            highs = [s for __, s in series[-2:]]
+            assert sum(lows) >= sum(highs), (
+                f"success should fall with utilization for {trace}/{size}")
+    # the paper's probabilities drop well below 1 at high utilization
+    high_rows = [row["desired_path_success"] for row in result.rows
+                 if row["utilization"] >= 0.6]
+    assert min(high_rows) < 0.9

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 2 — the flow-level vs event-level toy ordering.
+
+Shape asserted: exactly the paper's numbers (22/3 vs 32/3 average ECT).
+"""
+
+import pytest
+
+from repro.experiments import fig2
+
+
+def test_fig2_toy_ordering(once):
+    result = once(fig2.run)
+    print()
+    print(result.to_table())
+    avg = result.rows[-1]
+    assert avg["event_level_ect"] == pytest.approx(22 / 3)
+    assert avg["flow_level_ect"] == pytest.approx(32 / 3)

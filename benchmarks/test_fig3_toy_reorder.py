@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 3 — FIFO vs cost-order toy scheduling.
+
+Shape asserted: exactly the paper's numbers (avg ECT 7 s vs 5 s, tail 9 s).
+"""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+def test_fig3_toy_reorder(once):
+    result = once(fig3.run)
+    print()
+    print(result.to_table())
+    avg = result.rows[-1]
+    assert avg["fifo_ect"] == pytest.approx(7.0)
+    assert avg["cost_order_ect"] == pytest.approx(5.0)
+    tails = [max(row["fifo_ect"] for row in result.rows[:-1]),
+             max(row["cost_order_ect"] for row in result.rows[:-1])]
+    assert tails == [9.0, 9.0]

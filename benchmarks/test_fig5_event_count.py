@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 5 — flow-level vs event-level ECT vs queue length
+(10-100-flow events, ~70% utilization).
+
+Shape asserted: both methods' ECTs grow with queue length; event-level stays
+multiple-x better on average ECT throughout (the paper reports ~5x average /
+~2x tail over the sweep).
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_event_count(once):
+    result = once(fig5.run, seed=0, event_counts=(10, 30, 50))
+    print()
+    print(result.to_table())
+
+    for row in result.rows:
+        assert row["avg_speedup"] > 1.5
+        assert row["tail_speedup"] > 1.0
+    # ECTs grow with the queue for both schedulers
+    flow_avgs = [row["flow_avg_ect"] for row in result.rows]
+    event_avgs = [row["event_avg_ect"] for row in result.rows]
+    assert flow_avgs[0] < flow_avgs[-1]
+    assert event_avgs[0] < event_avgs[-1]

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 8 — queuing-delay reductions vs FIFO across queue
+lengths (α=4, ~70% utilization).
+
+Shape asserted: P-LMTF reduces both average and worst-case event queuing
+delay substantially more than LMTF, and both beat FIFO on average.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8_queuing_delay(once):
+    result = once(fig8.run, seed=0, event_counts=(10, 30, 50))
+    print()
+    print(result.to_table())
+
+    def mean(col):
+        return sum(result.column(col)) / len(result.rows)
+
+    assert mean("plmtf_avg_qd_red%") > 30
+    assert mean("plmtf_worst_qd_red%") > 15
+    assert mean("plmtf_avg_qd_red%") > mean("lmtf_avg_qd_red%")
+    assert mean("lmtf_avg_qd_red%") > 0

@@ -1,0 +1,34 @@
+"""Bench: robustness sweeps (DESIGN.md §7) — topology-agnosticism and
+oracle baselines.
+
+Shapes asserted: P-LMTF keeps a positive average-ECT gain off Fat-Tree, and
+LMTF is competitive with (in fact beats) the perfect-knowledge SJF oracles:
+its cost probes are a live congestion signal, not merely a size proxy.
+"""
+
+from repro.experiments import robustness
+
+
+def test_topology_sweep(once):
+    result = once(robustness.topology_sweep, seed=0, events=20,
+                  utilization=0.6)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert row["plmtf_avg_ect_red%"] > 0, row
+        assert row["plmtf_qd_red%"] > 0, row
+
+
+def test_oracle_comparison(once):
+    result = once(robustness.oracle_comparison, seed=0, events=30,
+                  utilization=0.7)
+    print()
+    print(result.to_table())
+    by_name = {row["scheduler"]: row for row in result.rows}
+    lmtf = by_name["lmtf"]["avg_ect_red%"]
+    best_oracle = max(row["avg_ect_red%"] for name, row in by_name.items()
+                      if name.startswith("oracle"))
+    # LMTF approximates the oracles: within 25 points of the best one and
+    # positive in its own right
+    assert lmtf > 0
+    assert best_oracle - lmtf < 25

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Head-to-head scheduler comparison at paper scale.
+
+Reproduces one point of the paper's Fig. 6/8 setup — a k=8 Fat-Tree at ~70%
+utilization with 30 heterogeneous update events and dynamic background — and
+prints every metric the paper reports for all five scheduling policies.
+
+Run:  python examples/scheduler_comparison.py        (~2 minutes)
+"""
+
+from repro import (
+    CostReorderScheduler,
+    FIFOScheduler,
+    FlowLevelScheduler,
+    LMTFScheduler,
+    PLMTFScheduler,
+)
+from repro.analysis.tables import render_table
+from repro.experiments.common import Scenario, run_schedulers
+from repro.traces.events import heterogeneous_config
+
+
+def main() -> None:
+    scenario = Scenario(utilization=0.7, seed=0, events=30, churn=True,
+                        event_config=heterogeneous_config())
+    print("loading background traffic (k=8 fat-tree, target 70%)...")
+    scenario.loaded_network()
+    print(f"fabric utilization: {scenario.achieved_utilization:.0%}")
+
+    schedulers = [
+        FIFOScheduler(),
+        LMTFScheduler(alpha=4, seed=9),
+        PLMTFScheduler(alpha=4, seed=9),
+        CostReorderScheduler(),
+        FlowLevelScheduler(),
+    ]
+    print(f"running {len(schedulers)} schedulers over the same 30-event "
+          f"queue...")
+    results = run_schedulers(scenario, schedulers)
+
+    rows = []
+    for name in ("fifo", "lmtf", "plmtf", "reorder", "flow-level"):
+        metrics = results[name]
+        rows.append({
+            "scheduler": name,
+            "avg_ect_s": metrics.average_ect,
+            "tail_ect_s": metrics.tail_ect,
+            "cost_mbps": metrics.total_cost,
+            "avg_qd_s": metrics.average_queuing_delay,
+            "plan_s": metrics.total_plan_time,
+            "rounds": metrics.rounds,
+        })
+    print()
+    print(render_table(
+        ["scheduler", "avg_ect_s", "tail_ect_s", "cost_mbps", "avg_qd_s",
+         "plan_s", "rounds"],
+        rows,
+        title="30 heterogeneous events, ~70% utilization, alpha=4",
+        notes=["paper: P-LMTF cuts avg ECT by ~75% vs FIFO at >70% "
+               "utilization; flow-level is ~10x slower than event-level"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""VM migration: evacuate a rack through the update scheduler.
+
+The paper's second §I scenario: "for the VM migration, a set of new flows
+would be generated for migrating involved VMs to other servers". Here a
+whole edge rack (k=4 Fat-Tree: 2 hosts x several VMs) is evacuated to the
+other pods while the fabric carries 55% background load, and the resulting
+memory-copy events are scheduled three ways.
+
+Each VM contributes one 80 Mbit/s pre-copy flow carrying 8 Gbit of memory;
+the evacuation is split into per-host update events so schedulers have a
+queue to work with.
+
+Run:  python examples/vm_migration.py
+"""
+
+import random
+
+from repro import (
+    BackgroundLoader,
+    FatTreeTopology,
+    FIFOScheduler,
+    FlowLevelScheduler,
+    PathProvider,
+    PLMTFScheduler,
+    SimulationConfig,
+    UpdateSimulator,
+    YahooLikeTrace,
+)
+from repro.traces.events import vm_migration_event
+
+VMS_PER_HOST = 1        # one 80 Mbit/s pre-copy stream per source host
+PRECOPY_MBPS = 80.0
+MEMORY_MBIT = 8000.0    # 1 GB of VM memory per stream
+
+
+def main() -> None:
+    topology = FatTreeTopology(k=4)
+    provider = PathProvider(topology)
+    network = topology.network()
+    trace = YahooLikeTrace(topology.hosts(), seed=20)
+    loader = BackgroundLoader(network, provider, trace, random.Random(21))
+    report = loader.load_to_utilization(0.55)
+    print(f"fabric at {report.utilization:.0%}")
+
+    # Evacuate rack e0_0 (hosts h0_0_*) to spread targets in pods 1-3.
+    sources = [h for h in topology.hosts() if h.startswith("h0_0_")]
+    targets = [topology.host_name(pod, 0, 0) for pod in (1, 2, 3)]
+    events = []
+    for index, src in enumerate(sources):
+        dst = targets[index % len(targets)]
+        event = vm_migration_event([src] * VMS_PER_HOST,
+                                   [dst] * VMS_PER_HOST,
+                                   demand=PRECOPY_MBPS,
+                                   volume=MEMORY_MBIT)
+        events.append(event)
+        print(f"  {event.event_id}: evacuate {src} -> {dst} "
+              f"({len(event)} streams, "
+              f"{event.flows[0].service_time:.0f}s each)")
+
+    print("\nscheduling the evacuation:")
+    for scheduler in (FIFOScheduler(), FlowLevelScheduler(),
+                      PLMTFScheduler(alpha=4, seed=22)):
+        simulator = UpdateSimulator(network.copy(), provider, scheduler,
+                                    config=SimulationConfig(seed=23))
+        simulator.submit(events)
+        metrics = simulator.run()
+        print(f"  {scheduler.name:11s} avg ECT {metrics.average_ect:7.1f}s  "
+              f"evacuation done in {metrics.makespan:7.1f}s  "
+              f"migration cost {metrics.total_cost:5.0f} Mbit/s")
+    print("\nP-LMTF finishes the rack fastest by running compatible "
+          "per-host events in the same round.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Result normalization and table rendering for experiment outputs."""
+
+from repro.analysis.normalize import (
+    normalize_by_max,
+    percent_reduction,
+    speedup,
+)
+from repro.analysis.tables import format_cell, render_table
+
+__all__ = [
+    "format_cell",
+    "normalize_by_max",
+    "percent_reduction",
+    "render_table",
+    "speedup",
+]

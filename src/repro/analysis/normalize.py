@@ -1,0 +1,39 @@
+"""Normalization helpers matching the paper's reporting conventions.
+
+Figs. 4–5 report metrics "normalized ... by dividing the maximum value of
+the flow-level method"; Figs. 6–9 report percent reductions against FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def normalize_by_max(values: Sequence[float],
+                     reference: Sequence[float] | None = None) -> list[float]:
+    """Divide ``values`` by the maximum of ``reference`` (default: itself).
+
+    This is the paper's Fig. 4/5 convention: every series is scaled by the
+    flow-level method's maximum, so the flow-level curve peaks at 1.0.
+    """
+    pool = reference if reference is not None else values
+    if not pool:
+        return []
+    peak = max(pool)
+    if peak == 0:
+        return [0.0 for __ in values]
+    return [v / peak for v in values]
+
+
+def percent_reduction(baseline: float, value: float) -> float:
+    """``(1 - value/baseline) * 100`` — positive when ``value`` improved."""
+    if baseline == 0:
+        return 0.0
+    return (1.0 - value / baseline) * 100.0
+
+
+def speedup(baseline: float, value: float) -> float:
+    """How many times faster ``value`` is than ``baseline``."""
+    if value == 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / value

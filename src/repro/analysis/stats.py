@@ -1,0 +1,103 @@
+"""Multi-seed statistics for experiment results.
+
+Single-seed trace-driven runs are noisy (the paper averages over repeated
+trials without saying how many). These helpers run a scenario across seeds
+and report mean, standard deviation, and a normal-approximation confidence
+interval per metric, so EXPERIMENTS.md can state effect sizes with spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.sim.metrics import RunMetrics
+
+#: RunMetrics attributes that aggregate meaningfully across seeds.
+AGGREGATABLE_METRICS = (
+    "total_cost",
+    "total_migrations",
+    "average_ect",
+    "tail_ect",
+    "p95_ect",
+    "p99_ect",
+    "average_queuing_delay",
+    "worst_queuing_delay",
+    "total_plan_time",
+    "makespan",
+    "rounds",
+)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/spread of one metric across seeds."""
+
+    mean: float
+    stdev: float
+    low: float
+    high: float
+    samples: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} ± {self.stdev:.2g} (n={self.samples})"
+
+
+def summarize(values: Sequence[float], confidence_z: float = 1.96) -> Summary:
+    """Mean, sample stdev and a z-interval for ``values``.
+
+    Args:
+        values: at least one sample.
+        confidence_z: z-score of the interval half-width (1.96 -> ~95%).
+    """
+    if not values:
+        raise ValueError("cannot summarize zero samples")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stdev = math.sqrt(variance)
+    else:
+        stdev = 0.0
+    half = confidence_z * stdev / math.sqrt(n)
+    return Summary(mean=mean, stdev=stdev, low=mean - half,
+                   high=mean + half, samples=n)
+
+
+def aggregate_runs(runs: Iterable[RunMetrics]) -> dict[str, Summary]:
+    """Per-metric summaries over several same-scenario runs."""
+    runs = list(runs)
+    if not runs:
+        raise ValueError("no runs to aggregate")
+    return {name: summarize([float(getattr(run, name)) for run in runs])
+            for name in AGGREGATABLE_METRICS}
+
+
+def across_seeds(run_one: Callable[[int], RunMetrics],
+                 seeds: Sequence[int]) -> dict[str, Summary]:
+    """Run ``run_one(seed)`` for every seed and aggregate the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return aggregate_runs(run_one(seed) for seed in seeds)
+
+
+def reduction_summary(baseline_runs: Sequence[RunMetrics],
+                      treated_runs: Sequence[RunMetrics],
+                      metric: str) -> Summary:
+    """Paired percent-reduction summary for one metric across seeds.
+
+    Pairs run *i* of the baseline with run *i* of the treatment (same seed)
+    — the paper's %-reduction-vs-FIFO reporting, with spread.
+    """
+    if len(baseline_runs) != len(treated_runs):
+        raise ValueError("baseline and treated runs must pair up by seed")
+    reductions = []
+    for base, treated in zip(baseline_runs, treated_runs):
+        base_value = float(getattr(base, metric))
+        treated_value = float(getattr(treated, metric))
+        if base_value == 0:
+            reductions.append(0.0)
+        else:
+            reductions.append((1.0 - treated_value / base_value) * 100.0)
+    return summarize(reductions)

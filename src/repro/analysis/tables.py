@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment results.
+
+The paper reports its evaluation as figures; our harness regenerates each as
+an aligned ASCII table of the same series so the shape (who wins, by what
+factor, where crossovers fall) is readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+
+def format_cell(value: Any) -> str:
+    """Human-friendly cell formatting (floats to 3 significant forms)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(columns: list[str], rows: Iterable[Mapping[str, Any]],
+                 title: str = "", notes: Iterable[str] = ()) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Args:
+        columns: ordered column names (also the header).
+        rows: mappings from column name to value; missing keys render "-".
+        title: optional heading line.
+        notes: optional footnote lines, prefixed with ``note:``.
+    """
+    body = [[format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in body)) if body else len(col)
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i])
+                       for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in body:
+        lines.append("  ".join(cells[i].ljust(widths[i])
+                               for i in range(len(columns))))
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

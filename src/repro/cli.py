@@ -1,0 +1,110 @@
+"""Command-line interface: regenerate any paper figure or ablation.
+
+Examples::
+
+    repro list
+    repro fig2
+    repro fig6 --seed 3
+    repro fig7 --events 30
+    repro report --out results/ --quick
+    python -m repro.cli fig9 --utilization 0.7
+
+Each command prints the figure's series as an aligned ASCII table; see
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures from 'An Event-Level Abstraction "
+                    "for Achieving Efficiency and Fairness in Network "
+                    "Update' (ICDCS 2017)")
+    parser.add_argument("figure",
+                        help="figure id (fig1..fig9, ablation-*, "
+                             "robustness-*), 'list', or 'report'")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master random seed (default 0)")
+    parser.add_argument("--events", type=int, default=None,
+                        help="override the number of queued events")
+    parser.add_argument("--utilization", type=float, default=None,
+                        help="override the target fabric utilization")
+    parser.add_argument("--alpha", type=int, default=None,
+                        help="override the LMTF/P-LMTF sample size")
+    parser.add_argument("--probes", type=int, default=None,
+                        help="fig1 only: probe flows per point")
+    parser.add_argument("--out", default="results",
+                        help="report only: output directory")
+    parser.add_argument("--quick", action="store_true",
+                        help="report only: run just the fast figures")
+    parser.add_argument("--figures", default=None,
+                        help="report only: comma-separated figure ids "
+                             "(default: all)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments import FIGURES
+
+    args = build_parser().parse_args(argv)
+    if args.figure == "list":
+        print("available figures:")
+        for name, runner in FIGURES.items():
+            doc = (inspect.getdoc(sys.modules[runner.__module__]) or "")
+            first = doc.splitlines()[0] if doc else ""
+            print(f"  {name:20s} {first}")
+        return 0
+    if args.figure == "report":
+        return _report(args)
+    runner = FIGURES.get(args.figure)
+    if runner is None:
+        print(f"unknown figure {args.figure!r}; try 'repro list'",
+              file=sys.stderr)
+        return 2
+    kwargs = {}
+    accepted = inspect.signature(runner).parameters
+    for name in ("seed", "events", "utilization", "alpha", "probes"):
+        value = getattr(args, name)
+        if value is not None and name in accepted:
+            kwargs[name] = value
+    started = time.time()
+    result = runner(**kwargs)
+    print(result.to_table())
+    print(f"\n[{args.figure} completed in {time.time() - started:.1f}s]")
+    return 0
+
+
+def _report(args) -> int:
+    from repro.analysis.report import (
+        QUICK_FIGURES,
+        run_figures,
+        write_report,
+    )
+    from repro.experiments import FIGURES
+
+    if args.figures:
+        names = [n.strip() for n in args.figures.split(",") if n.strip()]
+        unknown = [n for n in names if n not in FIGURES]
+        if unknown:
+            print(f"unknown figures: {unknown}; try 'repro list'",
+                  file=sys.stderr)
+            return 2
+    elif args.quick:
+        names = list(QUICK_FIGURES)
+    else:
+        names = list(FIGURES)
+    results = run_figures(names, progress=print, seed=args.seed)
+    path = write_report(results, args.out)
+    print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

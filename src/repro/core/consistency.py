@@ -1,0 +1,117 @@
+"""Plan-level transition-consistency analysis.
+
+The paper's related work (§VI) splits update correctness into *consistent*
+update (Reitblatt et al.: flip all rules atomically under a version tag) and
+*congestion-free* update (zUpdate/SWAN: order the steps so no intermediate
+state oversubscribes a link; Dionysus schedules that ordering). This module
+answers, for any :class:`~repro.core.plan.EventPlan`, where a plan sits on
+that spectrum:
+
+* :func:`transient_overloads` — if the whole plan flipped in **one shot**
+  (every migrated flow transiently occupying both its old and new path, the
+  event's new flows already sending), which links would exceed capacity and
+  by how much?
+* :func:`is_one_shot_safe` — no such link: a single version flip is both
+  consistent *and* congestion-free.
+* :func:`sequential_order_is_safe` — verifies that the plan's own
+  step-by-step order (migrations before each placement, in plan order)
+  never oversubscribes — a property our planner guarantees by construction,
+  re-checked here independently.
+
+The executor applies plans sequentially, so plans never *need* one-shot
+safety to execute; the analysis quantifies how often the cheaper one-shot
+flip would have been available (the ``consistency`` ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import InsufficientBandwidthError, PlanningError
+from repro.core.plan import EventPlan
+from repro.network.link import EPS, LinkId, path_links
+from repro.network.state import NetworkState
+from repro.network.view import NetworkView
+
+
+@dataclass(frozen=True)
+class TransientOverload:
+    """One link that a one-shot flip would transiently oversubscribe."""
+
+    link: LinkId
+    capacity: float
+    transient_load: float
+
+    @property
+    def excess(self) -> float:
+        return self.transient_load - self.capacity
+
+
+def transient_overloads(state: NetworkState,
+                        plan: EventPlan) -> list[TransientOverload]:
+    """Links oversubscribed by flipping ``plan`` in one shot.
+
+    The transient load of a link is its current usage, **plus** the demand
+    of every migrated flow whose *new* path adds the link (its old-path
+    usage is still in place mid-flip), **plus** the demand of every event
+    flow placed on the link. Flows leaving a link release nothing until the
+    flip completes, so their usage still counts.
+    """
+    added: dict[LinkId, float] = {}
+    for flow_plan in plan.flow_plans:
+        for migration in flow_plan.migrations:
+            old_links = frozenset(path_links(migration.old_path))
+            for link in path_links(migration.new_path):
+                if link not in old_links:
+                    added[link] = added.get(link, 0.0) \
+                        + migration.flow.demand
+        for link in path_links(flow_plan.path):
+            added[link] = added.get(link, 0.0) + flow_plan.flow.demand
+    overloads = []
+    for link, extra in sorted(added.items()):
+        transient = state.used(*link) + extra
+        capacity = state.capacity(*link)
+        if transient > capacity + EPS:
+            overloads.append(TransientOverload(
+                link=link, capacity=capacity, transient_load=transient))
+    return overloads
+
+
+def is_one_shot_safe(state: NetworkState, plan: EventPlan) -> bool:
+    """True when a single atomic version flip of ``plan`` is
+    congestion-free (no transient overload on any link)."""
+    return not transient_overloads(state, plan)
+
+
+def sequential_order_is_safe(state: NetworkState, plan: EventPlan) -> bool:
+    """Independently verify the plan's own step order never oversubscribes.
+
+    Replays each migration and placement in plan order on a throwaway view
+    (whose ``place`` rejects oversubscription); the view is discarded, so
+    ``state`` is untouched.
+
+    Returns False for infeasible plans or if any intermediate step fails —
+    the latter would indicate a planner bug, and the test suite asserts it
+    never happens.
+    """
+    if not plan.feasible:
+        return False
+    view = NetworkView(state)
+    try:
+        for flow_plan in plan.flow_plans:
+            for migration in flow_plan.migrations:
+                view.reroute(migration.flow.flow_id, migration.new_path)
+            view.place(flow_plan.flow, flow_plan.path)
+    except (InsufficientBandwidthError, PlanningError):
+        return False
+    return True
+
+
+def one_shot_safety_rate(state: NetworkState,
+                         plans: list[EventPlan]) -> float:
+    """Fraction of feasible plans that a one-shot flip could execute."""
+    feasible = [plan for plan in plans if plan.feasible]
+    if not feasible:
+        return 1.0
+    safe = sum(1 for plan in feasible if is_one_shot_safe(state, plan))
+    return safe / len(feasible)

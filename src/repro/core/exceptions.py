@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type to handle any library failure. The subtypes distinguish the
+failure modes that the planner and simulator react to differently: a flow that
+cannot be placed right now (:class:`InsufficientBandwidthError`) is retried on
+a later round, whereas a malformed topology or plan is a programming error and
+propagates.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or a requested node/link does not exist."""
+
+
+class UnknownFlowError(ReproError):
+    """An operation referenced a flow id that is not placed in the network."""
+
+
+class DuplicateFlowError(ReproError):
+    """A flow id was placed twice without being removed in between."""
+
+
+class InvalidPathError(ReproError):
+    """A path is not a simple connected path in the network graph."""
+
+
+class InsufficientBandwidthError(ReproError):
+    """A flow could not be placed because some link lacks residual bandwidth.
+
+    Attributes:
+        bottleneck: the ``(u, v)`` link that rejected the placement, or
+            ``None`` when no single link can be blamed (e.g. no path at all).
+        deficit: how much bandwidth was missing on the bottleneck link.
+    """
+
+    def __init__(self, message: str, bottleneck: tuple | None = None,
+                 deficit: float = 0.0):
+        super().__init__(message)
+        self.bottleneck = bottleneck
+        self.deficit = deficit
+
+
+class RuleSpaceError(InsufficientBandwidthError):
+    """A flow could not be placed because a switch's rule table (TCAM) is
+    full. Subclasses :class:`InsufficientBandwidthError` deliberately:
+    every handler that retries/replans on a bandwidth shortage reacts the
+    same way to a rule-space shortage.
+
+    Attributes:
+        switch: the switch whose rule table rejected the placement.
+    """
+
+    def __init__(self, message: str, switch: str | None = None):
+        super().__init__(message)
+        self.switch = switch
+
+
+class PlanningError(ReproError):
+    """An event plan could not be constructed (no migration set exists)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

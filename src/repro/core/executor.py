@@ -1,0 +1,101 @@
+"""Replays an :class:`EventPlan` onto network state.
+
+Planning runs on throwaway views; execution is the moment the chosen event's
+migrations and placements hit real state. The executor performs the same
+make-before-break order the plan was built with — migrations first (freeing
+the congested links), then the event's flows — and converts the plan into
+simulated time via the :class:`~repro.sim.timing.TimingModel`.
+
+:func:`apply_plan` is the pure state-transition part, reused by P-LMTF to
+mirror an already-probed plan onto its cumulative batch view so that batch
+members are planned against exactly the state their predecessors will leave
+behind.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import InsufficientBandwidthError, PlanningError
+from repro.core.plan import EventPlan, ExecutionRecord
+from repro.network.state import NetworkState
+from repro.sim.timing import TimingModel
+
+
+def apply_plan(state: NetworkState, plan: EventPlan) -> list[str]:
+    """Apply a feasible plan's migrations and placements to ``state``.
+
+    Returns the ids of the rerouted (migrated) flows. On mid-way failure the
+    partial application is rolled back before the error propagates, leaving
+    ``state`` untouched.
+
+    Raises:
+        PlanningError: the plan has blocked flows.
+        InsufficientBandwidthError: the state diverged from what the plan
+            was computed against and the plan no longer fits.
+    """
+    if not plan.feasible:
+        raise PlanningError(
+            f"refusing to apply infeasible plan for event "
+            f"{plan.event.event_id} ({len(plan.blocked)} blocked flows)")
+    applied: list[tuple[str, tuple]] = []
+    rerouted: list[str] = []
+    try:
+        for flow_plan in plan.flow_plans:
+            for migration in flow_plan.migrations:
+                old = state.placement(migration.flow.flow_id)
+                state.reroute(migration.flow.flow_id, migration.new_path)
+                applied.append(("reroute", (migration.flow.flow_id,
+                                            old.path)))
+                rerouted.append(migration.flow.flow_id)
+            state.place(flow_plan.flow, flow_plan.path)
+            applied.append(("place", (flow_plan.flow.flow_id,)))
+    except InsufficientBandwidthError:
+        _rollback(state, applied)
+        raise
+    return rerouted
+
+
+def _rollback(state: NetworkState, applied: list[tuple[str, tuple]]) -> None:
+    """Undo partially applied operations, newest first."""
+    for op, args in reversed(applied):
+        if op == "place":
+            state.remove(args[0])
+        else:
+            flow_id, old_path = args
+            state.reroute(flow_id, old_path)
+
+
+class PlanExecutor:
+    """Applies event plans to a network state and accounts their time."""
+
+    def __init__(self, timing: TimingModel | None = None):
+        self._timing = timing or TimingModel()
+
+    @property
+    def timing(self) -> TimingModel:
+        return self._timing
+
+    def execute(self, state: NetworkState, plan: EventPlan,
+                start_time: float) -> ExecutionRecord:
+        """Apply ``plan`` to ``state`` starting at ``start_time``.
+
+        Returns an :class:`ExecutionRecord` whose ``finish_setup_time`` is
+        when all the event's flows are installed and running; their
+        transmissions then complete on their own service times.
+
+        Raises:
+            PlanningError: the plan has blocked flows (callers must only
+                execute feasible plans).
+            InsufficientBandwidthError: the state changed since planning and
+                the plan no longer fits — the caller should replan.
+        """
+        rerouted = apply_plan(state, plan)
+        migration_time = self._timing.migration_time(plan.migrations)
+        install_time = self._timing.install_time(len(plan.flow_plans))
+        return ExecutionRecord(
+            plan=plan,
+            start_time=start_time,
+            migration_time=migration_time,
+            install_time=install_time,
+            finish_setup_time=start_time + migration_time + install_time,
+            rerouted_flow_ids=tuple(rerouted),
+        )

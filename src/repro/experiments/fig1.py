@@ -1,0 +1,101 @@
+"""Fig. 1 — success probability of accommodating a flow without migration.
+
+The paper plots, for a k=8 Fat-Tree under Yahoo! and random (Benson-style)
+background traffic, the probability that a new flow of an update event can
+be inserted **without migrating other flows**, as link utilization rises.
+The probability falls with utilization "irrespective of the flow size".
+
+We reproduce both curves: the probability that the flow's hash-designated
+*desired path* fits (the paper's update model — this is the declining curve)
+and, for context, the probability that *any* equal-cost path fits.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.flow import Flow, next_flow_id
+from repro.experiments.common import Scenario
+from repro.experiments.results import ExperimentResult
+from repro.network.link import EPS
+from repro.traces.background import BackgroundLoader
+from repro.traces.base import TraceGenerator
+from repro.traces.benson import BensonLikeTrace
+
+#: Probe flow demand classes (Mbit/s), spanning the event-flow range.
+FLOW_SIZES = (10.0, 50.0, 100.0)
+
+UTILIZATIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+def probe_success(scenario: Scenario, trace: TraceGenerator,
+                  demand: float, probes: int,
+                  rng: random.Random) -> tuple[float, float]:
+    """(desired-path success rate, any-path success rate) for ``probes``
+    sampled host pairs at ``demand`` Mbit/s against the loaded network."""
+    network = scenario.loaded_network()
+    provider = scenario.provider
+    desired_ok = 0
+    any_ok = 0
+    for __ in range(probes):
+        src, dst = trace.sample_endpoints()
+        flow = Flow(flow_id=next_flow_id(), src=src, dst=dst, demand=demand)
+        paths = provider.paths(src, dst)
+        digest_path = _desired(flow, paths)
+        if network.path_feasible(digest_path, demand):
+            desired_ok += 1
+        if any(network.path_residual(p) + EPS >= demand for p in paths):
+            any_ok += 1
+    return desired_ok / probes, any_ok / probes
+
+
+def _desired(flow, paths):
+    from repro.core.planner import EventPlanner
+    return EventPlanner.desired_path(flow, paths)
+
+
+def run(seed: int = 0, probes: int = 300,
+        utilizations=UTILIZATIONS, flow_sizes=FLOW_SIZES) -> ExperimentResult:
+    """Reproduce Fig. 1 for both traces."""
+    result = ExperimentResult(
+        name="fig1",
+        title="success probability of placing a flow without migration",
+        columns=["trace", "utilization", "flow_mbps",
+                 "desired_path_success", "any_path_success"],
+        params={"seed": seed, "probes": probes})
+    for trace_name in ("yahoo", "benson"):
+        for util in utilizations:
+            scenario = Scenario(utilization=util, seed=seed, churn=False)
+            if trace_name == "benson":
+                # Reload the background from the Benson-style trace.
+                scenario = _benson_background(scenario)
+            probe_trace = BensonLikeTrace(scenario.topology.hosts(),
+                                          seed=seed + 7)
+            rng = random.Random(seed + 11)
+            for demand in flow_sizes:
+                desired, anyp = probe_success(scenario, probe_trace, demand,
+                                              probes, rng)
+                result.add_row(trace=trace_name,
+                               utilization=round(
+                                   scenario.achieved_utilization, 2),
+                               flow_mbps=demand,
+                               desired_path_success=desired,
+                               any_path_success=anyp)
+    result.notes.append(
+        "desired_path_success is the paper's curve (single ECMP-designated "
+        "path); any_path_success shows the headroom the 16 equal-cost "
+        "paths provide")
+    return result
+
+
+def _benson_background(scenario: Scenario) -> Scenario:
+    """A scenario whose background comes from the Benson-style trace."""
+
+    class _BensonScenario(Scenario):
+        def background_trace(self, seed_offset: int = 0):
+            return BensonLikeTrace(
+                self.topology.hosts(), seed=self.seed + seed_offset,
+                duration_median=self.defaults.background_duration_median)
+
+    return _BensonScenario(utilization=scenario.utilization,
+                           seed=scenario.seed, churn=False)

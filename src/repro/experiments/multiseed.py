@@ -1,0 +1,79 @@
+"""Multi-seed statistics for the headline comparison (Fig. 6's 30-event
+point) — effect sizes with spread instead of single-trace numbers.
+
+The paper reports single curves without error bars; this experiment runs
+the same FIFO/LMTF/P-LMTF comparison across independent seeds (independent
+background, events, churn and sampling) and reports each reduction as
+``mean ± stdev`` with a 95% interval, using
+:mod:`repro.analysis.stats`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import reduction_summary
+from repro.experiments.common import DEFAULTS, Scenario, run_schedulers
+from repro.experiments.results import ExperimentResult
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.lmtf import LMTFScheduler
+from repro.sched.plmtf import PLMTFScheduler
+from repro.traces.events import heterogeneous_config
+
+#: (metric attribute, human label) pairs reported per scheduler.
+METRICS = (
+    ("average_ect", "avg ECT"),
+    ("tail_ect", "tail ECT"),
+    ("total_cost", "total cost"),
+    ("average_queuing_delay", "avg queuing delay"),
+    ("worst_queuing_delay", "worst queuing delay"),
+)
+
+
+def fig6_with_spread(seed: int = 0, events: int = 30,
+                     utilization: float = 0.7, alpha: int | None = None,
+                     seeds: int = 3) -> ExperimentResult:
+    """The Fig. 6 30-event comparison across ``seeds`` independent trials.
+
+    Args:
+        seed: base seed; trial *i* uses ``seed + 1000 * i``.
+        seeds: number of independent trials (>= 1).
+    """
+    if seeds < 1:
+        raise ValueError("need at least one seed")
+    alpha = alpha if alpha is not None else DEFAULTS.alpha
+    runs: dict[str, list] = {"fifo": [], "lmtf": [], "plmtf": []}
+    for trial in range(seeds):
+        trial_seed = seed + 1000 * trial
+        scenario = Scenario(utilization=utilization, seed=trial_seed,
+                            events=events, churn=True,
+                            event_config=heterogeneous_config())
+        metrics = run_schedulers(scenario, [
+            FIFOScheduler(),
+            LMTFScheduler(alpha=alpha, seed=trial_seed + 9),
+            PLMTFScheduler(alpha=alpha, seed=trial_seed + 9),
+        ])
+        for name in runs:
+            runs[name].append(metrics[name])
+
+    result = ExperimentResult(
+        name="fig6-stats",
+        title=f"Fig. 6 reductions vs FIFO over {seeds} seeds "
+              f"({events} events, alpha={alpha}, "
+              f"utilization ~{utilization:.0%})",
+        columns=["scheduler", "metric", "reduction_mean%",
+                 "reduction_stdev", "ci95_low%", "ci95_high%"],
+        params={"seed": seed, "seeds": seeds, "events": events,
+                "alpha": alpha})
+    for name in ("lmtf", "plmtf"):
+        for attribute, label in METRICS:
+            summary = reduction_summary(runs["fifo"], runs[name],
+                                        attribute)
+            result.add_row(
+                scheduler=name, metric=label,
+                **{"reduction_mean%": summary.mean,
+                   "reduction_stdev": summary.stdev,
+                   "ci95_low%": summary.low,
+                   "ci95_high%": summary.high})
+    result.notes.append("paired reductions: trial i of each scheduler "
+                        "shares trial i's background, events and churn "
+                        "with FIFO")
+    return result

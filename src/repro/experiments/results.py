@@ -1,0 +1,54 @@
+"""Result containers shared by all experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced figure, ready for table rendering.
+
+    Attributes:
+        name: figure identifier, e.g. ``"fig6"``.
+        title: what the figure shows.
+        columns: ordered column names.
+        rows: one dict per table row (keys = columns).
+        notes: caveats and context recorded by the experiment.
+        params: the parameters the experiment ran with.
+    """
+
+    name: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def to_json(self) -> str:
+        """Serialize the result (rows, notes, params) as pretty JSON."""
+        import json
+        payload = {"name": self.name, "title": self.title,
+                   "columns": self.columns, "rows": self.rows,
+                   "notes": self.notes, "params": self.params}
+        return json.dumps(payload, indent=2, default=str)
+
+    def save(self, path) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        from pathlib import Path
+        Path(path).write_text(self.to_json())
+
+    def to_table(self) -> str:
+        """Render as an aligned ASCII table (via :mod:`repro.analysis`)."""
+        from repro.analysis.tables import render_table
+        return render_table(self.columns, self.rows,
+                            title=f"{self.name}: {self.title}",
+                            notes=self.notes)

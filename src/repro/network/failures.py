@@ -1,0 +1,140 @@
+"""Failure injection: take links or switches down and collect the fallout.
+
+Network failures are one of the paper's §I update-event sources ("the
+upgrades of switches, network failures and VM migrations"). This module
+turns a failure into exactly the event-level machinery the rest of the
+library schedules: failing a component strands the flows crossing it, and
+:func:`repair_event` packages those stranded flows as an
+:class:`~repro.core.event.UpdateEvent` to be re-homed around the failure.
+
+Failures are modelled on the *network bookkeeping* level — failed links get
+capacity 0 so nothing can be placed across them — and are reversible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.event import UpdateEvent, make_event
+from repro.core.exceptions import TopologyError
+from repro.core.flow import Flow, next_flow_id
+from repro.network.link import LinkId
+from repro.network.network import Network
+
+
+@dataclass
+class FailureRecord:
+    """What a failure injection did, with everything needed to undo it."""
+
+    description: str
+    failed_links: tuple[LinkId, ...]
+    stranded: tuple[Flow, ...]
+    _saved_capacities: dict[LinkId, float] = field(default_factory=dict,
+                                                   repr=False)
+
+
+class FailureInjector:
+    """Injects and heals link/switch failures on a live network."""
+
+    def __init__(self, network: Network):
+        self._network = network
+        self._active: list[FailureRecord] = []
+
+    @property
+    def active_failures(self) -> list[FailureRecord]:
+        return list(self._active)
+
+    # -------------------------------------------------------------- failing
+
+    def fail_link(self, u: str, v: str, both_directions: bool = True
+                  ) -> FailureRecord:
+        """Fail the link ``(u, v)`` (and ``(v, u)`` unless told otherwise).
+
+        Flows crossing the failed direction(s) are removed from the network
+        (their traffic is stranded) and returned inside the record so the
+        caller can build a repair event.
+        """
+        links = [(u, v)]
+        if both_directions and self._network.has_link(v, u):
+            links.append((v, u))
+        for link in links:
+            if not self._network.has_link(*link):
+                raise TopologyError(f"no link {link[0]}->{link[1]} to fail")
+        return self._fail(links, description=f"link {u}<->{v}")
+
+    def fail_switch(self, switch: str) -> FailureRecord:
+        """Fail every link adjacent to ``switch``."""
+        graph = self._network.graph
+        if switch not in graph:
+            raise TopologyError(f"no node {switch!r} to fail")
+        links = [(switch, n) for n in graph.successors(switch)]
+        links += [(n, switch) for n in graph.predecessors(switch)]
+        if not links:
+            raise TopologyError(f"{switch!r} has no links")
+        return self._fail(links, description=f"switch {switch}")
+
+    def _fail(self, links: list[LinkId], description: str) -> FailureRecord:
+        stranded_flows: dict[str, Flow] = {}
+        for link in links:
+            for flow_id in self._network.flows_on_link(*link):
+                placement = self._network.placement(flow_id)
+                stranded_flows[flow_id] = placement.flow
+        for flow_id in stranded_flows:
+            self._network.remove(flow_id)
+        saved = {}
+        for link in links:
+            saved[link] = self._network.capacity(*link)
+            self._network._capacity[link] = 0.0
+        record = FailureRecord(description=description,
+                               failed_links=tuple(links),
+                               stranded=tuple(stranded_flows.values()),
+                               _saved_capacities=saved)
+        self._active.append(record)
+        return record
+
+    # -------------------------------------------------------------- healing
+
+    def heal(self, record: FailureRecord) -> None:
+        """Restore the capacities a failure zeroed (flows stay gone — the
+        repair event is responsible for re-homing them)."""
+        if record not in self._active:
+            raise ValueError(f"failure {record.description!r} is not active")
+        for link, capacity in record._saved_capacities.items():
+            self._network._capacity[link] = capacity
+        self._active.remove(record)
+
+    def heal_all(self) -> None:
+        for record in list(self._active):
+            self.heal(record)
+
+
+def repair_event(record: FailureRecord, arrival_time: float = 0.0,
+                 duration: float | None = None) -> UpdateEvent:
+    """The update event that re-homes a failure's stranded flows.
+
+    Each stranded flow becomes a fresh flow with the same endpoints and
+    demand; scheduling this event through the planner routes the traffic
+    around the failed component (whose links have capacity 0).
+
+    Args:
+        arrival_time: when the repair joins the update queue.
+        duration: replacement-flow duration override. Stranded *permanent*
+            background flows have no finite service time, which the
+            simulator cannot complete on — give them one here (e.g. the
+            remaining maintenance-window length). Flows that already carry
+            a finite duration keep it unless overridden.
+
+    Raises:
+        ValueError: the failure stranded nothing — there is no repair to do.
+    """
+    if not record.stranded:
+        raise ValueError(f"failure {record.description!r} stranded no "
+                         f"flows; nothing to repair")
+    replacements = []
+    for flow in record.stranded:
+        changes = {"flow_id": next_flow_id()}
+        if duration is not None:
+            changes["duration"] = duration
+        replacements.append(flow.replace(**changes))
+    return make_event(replacements, arrival_time=arrival_time,
+                      label=f"repair {record.description}")

@@ -1,0 +1,37 @@
+"""Link-level helpers shared by the network and its what-if views.
+
+Links are directed: a Fat-Tree cable between switches ``u`` and ``v`` is two
+independent directed links ``(u, v)`` and ``(v, u)``, each with its own
+capacity, which matches full-duplex datacenter links.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+LinkId = tuple[str, str]
+
+#: Tolerance for floating-point bandwidth comparisons. Demands in this library
+#: are O(1)–O(1000) Mbit/s, so 1e-6 Mbit/s (1 bit/s) is far below any real
+#: demand while absorbing accumulated rounding from thousands of placements.
+EPS = 1e-6
+
+
+def path_links(path: Sequence[str]) -> tuple[LinkId, ...]:
+    """Return the directed links traversed by ``path`` in order."""
+    return tuple(zip(path[:-1], path[1:]))
+
+
+def is_simple_path(path: Sequence[str]) -> bool:
+    """True when the path visits no node twice (and has >= 2 nodes)."""
+    return len(path) >= 2 and len(set(path)) == len(path)
+
+
+def format_link(link: LinkId) -> str:
+    """Human-readable rendering of a link id."""
+    return f"{link[0]}->{link[1]}"
+
+
+def format_path(path: Iterable[str]) -> str:
+    """Human-readable rendering of a path."""
+    return " -> ".join(path)

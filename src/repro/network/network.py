@@ -1,0 +1,310 @@
+"""The live network: link capacities, residuals, and the placed-flow table.
+
+This is the congestion-free substrate of paper §III-A: every flow is
+unsplittable, consumes its demand ``d^f`` on each link of its single path, and
+a placement is rejected (``InsufficientBandwidthError``) rather than allowed
+to oversubscribe a link. :meth:`Network.check_invariants` re-derives all link
+usage from the flow table and is used by the test suite and (optionally) the
+simulator to assert the substrate never drifts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.exceptions import (
+    DuplicateFlowError,
+    InsufficientBandwidthError,
+    InvalidPathError,
+    RuleSpaceError,
+    TopologyError,
+    UnknownFlowError,
+)
+from repro.core.flow import Flow, Placement
+from repro.network.link import EPS, LinkId, format_link, is_simple_path, path_links
+from repro.network.state import NetworkState
+
+
+class Network(NetworkState):
+    """A directed-capacity network holding a table of placed flows.
+
+    Args:
+        graph: a directed graph whose edges carry a ``capacity`` attribute in
+            Mbit/s. Node attribute ``kind`` (e.g. ``"host"``, ``"edge"``,
+            ``"aggr"``, ``"core"``) is preserved for routing and reporting
+            but not required. Node attribute ``rule_capacity`` (int) limits
+            how many flows a switch's forwarding table can hold.
+        default_capacity: capacity assumed for edges without the attribute.
+        default_rule_capacity: rule-table size assumed for every non-host
+            node without its own ``rule_capacity`` attribute; ``None``
+            (default) means unlimited — rule accounting is then skipped
+            entirely for nodes without explicit capacities, keeping the
+            bandwidth-only hot path unchanged.
+    """
+
+    def __init__(self, graph: nx.DiGraph, default_capacity: float = 1000.0,
+                 default_rule_capacity: int | None = None):
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("cannot build a network from an empty graph")
+        self._graph = graph
+        self._capacity: dict[LinkId, float] = {}
+        for u, v, data in graph.edges(data=True):
+            cap = float(data.get("capacity", default_capacity))
+            if cap < 0:
+                raise TopologyError(f"link {format_link((u, v))} has negative "
+                                    f"capacity {cap}")
+            self._capacity[(u, v)] = cap
+        self._used: dict[LinkId, float] = {link: 0.0 for link in self._capacity}
+        self._link_flows: dict[LinkId, set[str]] = {
+            link: set() for link in self._capacity}
+        self._placements: dict[str, Placement] = {}
+        self._rule_capacity: dict[str, int] = {}
+        for node, data in graph.nodes(data=True):
+            explicit = data.get("rule_capacity")
+            if explicit is not None:
+                if int(explicit) < 0:
+                    raise TopologyError(f"{node}: rule_capacity must be "
+                                        f">= 0, got {explicit}")
+                self._rule_capacity[node] = int(explicit)
+            elif (default_rule_capacity is not None
+                  and data.get("kind") != "host"):
+                if default_rule_capacity < 0:
+                    raise TopologyError("default_rule_capacity must be "
+                                        ">= 0")
+                self._rule_capacity[node] = default_rule_capacity
+        self._rules_used: dict[str, int] = {
+            node: 0 for node in self._rule_capacity}
+
+    # ------------------------------------------------------------- structure
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying topology graph (shared, do not mutate)."""
+        return self._graph
+
+    def hosts(self) -> list[str]:
+        """Nodes whose ``kind`` attribute is ``"host"``."""
+        return [n for n, d in self._graph.nodes(data=True)
+                if d.get("kind") == "host"]
+
+    def switches(self) -> list[str]:
+        """Nodes that are not hosts."""
+        return [n for n, d in self._graph.nodes(data=True)
+                if d.get("kind") != "host"]
+
+    def has_link(self, u: str, v: str) -> bool:
+        return (u, v) in self._capacity
+
+    def links(self) -> Iterable[LinkId]:
+        return self._capacity.keys()
+
+    def switch_links(self) -> list[LinkId]:
+        """Links between switches (excludes host access links); utilization
+        statistics in the paper's sense are computed over these."""
+        kinds: Mapping[str, str] = nx.get_node_attributes(self._graph, "kind")
+        return [(u, v) for (u, v) in self._capacity
+                if kinds.get(u) != "host" and kinds.get(v) != "host"]
+
+    # ----------------------------------------------------------------- reads
+
+    def capacity(self, u: str, v: str) -> float:
+        try:
+            return self._capacity[(u, v)]
+        except KeyError:
+            raise TopologyError(f"no link {format_link((u, v))}") from None
+
+    def used(self, u: str, v: str) -> float:
+        try:
+            return self._used[(u, v)]
+        except KeyError:
+            raise TopologyError(f"no link {format_link((u, v))}") from None
+
+    def flows_on_link(self, u: str, v: str) -> frozenset[str]:
+        try:
+            return frozenset(self._link_flows[(u, v)])
+        except KeyError:
+            raise TopologyError(f"no link {format_link((u, v))}") from None
+
+    def has_flow(self, flow_id: str) -> bool:
+        return flow_id in self._placements
+
+    def placement(self, flow_id: str) -> Placement:
+        try:
+            return self._placements[flow_id]
+        except KeyError:
+            raise UnknownFlowError(f"flow {flow_id!r} is not placed") from None
+
+    def flow_ids(self) -> Iterator[str]:
+        return iter(list(self._placements))
+
+    def flow_count(self) -> int:
+        return len(self._placements)
+
+    # ------------------------------------------------------------- mutations
+
+    def place(self, flow: Flow, path: Sequence[str]) -> Placement:
+        if flow.flow_id in self._placements:
+            raise DuplicateFlowError(f"flow {flow.flow_id!r} already placed")
+        placement = Placement(flow=flow, path=tuple(path))
+        self._validate_path(placement.path)
+        for u, v in placement.links:
+            free = self._capacity[(u, v)] - self._used[(u, v)]
+            if free + EPS < flow.demand:
+                raise InsufficientBandwidthError(
+                    f"link {format_link((u, v))} has {free:.3f} Mbit/s free, "
+                    f"flow {flow.flow_id} needs {flow.demand:.3f}",
+                    bottleneck=(u, v), deficit=flow.demand - free)
+        if self._rule_capacity:
+            for node in placement.path:
+                limit = self._rule_capacity.get(node)
+                if limit is not None and self._rules_used[node] >= limit:
+                    raise RuleSpaceError(
+                        f"switch {node} rule table full "
+                        f"({limit} rules), cannot install "
+                        f"{flow.flow_id}", switch=node)
+        for link in placement.links:
+            self._used[link] += flow.demand
+            self._link_flows[link].add(flow.flow_id)
+        if self._rule_capacity:
+            for node in placement.path:
+                if node in self._rules_used:
+                    self._rules_used[node] += 1
+        self._placements[flow.flow_id] = placement
+        return placement
+
+    def remove(self, flow_id: str) -> Placement:
+        placement = self.placement(flow_id)
+        for link in placement.links:
+            self._used[link] -= placement.flow.demand
+            if self._used[link] < 0:
+                # Guard against float drift; usage can never be negative.
+                self._used[link] = 0.0
+            self._link_flows[link].discard(flow_id)
+        if self._rule_capacity:
+            for node in placement.path:
+                if node in self._rules_used:
+                    self._rules_used[node] -= 1
+        del self._placements[flow_id]
+        return placement
+
+    def _validate_path(self, path: tuple[str, ...]) -> None:
+        if not is_simple_path(path):
+            raise InvalidPathError(f"path {path!r} is not a simple path")
+        for u, v in path_links(path):
+            if (u, v) not in self._capacity:
+                raise InvalidPathError(
+                    f"path uses nonexistent link {format_link((u, v))}")
+
+    # ----------------------------------------------------------- rule space
+
+    def rule_capacity(self, node: str) -> int | None:
+        """Rule-table size of ``node``; None means unlimited."""
+        return self._rule_capacity.get(node)
+
+    def rules_used(self, node: str) -> int:
+        """Forwarding rules currently installed on ``node``."""
+        return self._rules_used.get(node, 0)
+
+    def rules_free(self, node: str) -> int | None:
+        """Remaining rule slots on ``node``; None means unlimited."""
+        limit = self._rule_capacity.get(node)
+        if limit is None:
+            return None
+        return limit - self._rules_used[node]
+
+    @property
+    def tracks_rules(self) -> bool:
+        """True when at least one node has a finite rule table."""
+        return bool(self._rule_capacity)
+
+    # ------------------------------------------------------------ statistics
+
+    def average_utilization(self, links: Iterable[LinkId] | None = None) -> float:
+        """Mean utilization over ``links`` (default: switch-switch links)."""
+        pool = list(links) if links is not None else self.switch_links()
+        if not pool:
+            return 0.0
+        return sum(self.utilization(u, v) for u, v in pool) / len(pool)
+
+    def max_utilization(self, links: Iterable[LinkId] | None = None) -> float:
+        pool = list(links) if links is not None else self.switch_links()
+        if not pool:
+            return 0.0
+        return max(self.utilization(u, v) for u, v in pool)
+
+    def total_capacity(self) -> float:
+        return sum(self._capacity.values())
+
+    def total_used(self) -> float:
+        return sum(self._used.values())
+
+    # ------------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Re-derive link usage from the flow table and assert consistency.
+
+        Raises:
+            AssertionError: usage bookkeeping drifted from the flow table, a
+                link is oversubscribed, or a link-flow index is stale.
+        """
+        derived_used: dict[LinkId, float] = {link: 0.0 for link in self._capacity}
+        derived_flows: dict[LinkId, set[str]] = {
+            link: set() for link in self._capacity}
+        for fid, placement in self._placements.items():
+            for link in placement.links:
+                derived_used[link] += placement.flow.demand
+                derived_flows[link].add(fid)
+        for link in self._capacity:
+            assert abs(derived_used[link] - self._used[link]) < 1e-3, (
+                f"link {format_link(link)}: tracked used {self._used[link]} "
+                f"!= derived {derived_used[link]}")
+            assert derived_flows[link] == self._link_flows[link], (
+                f"link {format_link(link)}: stale flow index")
+            assert self._used[link] <= self._capacity[link] + 1e-3, (
+                f"link {format_link(link)} oversubscribed: "
+                f"{self._used[link]} > {self._capacity[link]}")
+        if self._rule_capacity:
+            derived_rules: dict[str, int] = {
+                node: 0 for node in self._rule_capacity}
+            for placement in self._placements.values():
+                for node in placement.path:
+                    if node in derived_rules:
+                        derived_rules[node] += 1
+            for node, limit in self._rule_capacity.items():
+                assert derived_rules[node] == self._rules_used[node], (
+                    f"switch {node}: tracked rules "
+                    f"{self._rules_used[node]} != derived "
+                    f"{derived_rules[node]}")
+                assert self._rules_used[node] <= limit, (
+                    f"switch {node} rule table over budget: "
+                    f"{self._rules_used[node]} > {limit}")
+
+    # ----------------------------------------------------------------- copies
+
+    def copy(self) -> "Network":
+        """An independent network with the same placements.
+
+        The topology graph is shared (it is never mutated); bookkeeping
+        dicts are duplicated. Experiments load background traffic once and
+        hand each scheduler run its own copy, so all schedulers face an
+        identical starting state.
+        """
+        clone = Network.__new__(Network)
+        clone._graph = self._graph
+        clone._capacity = dict(self._capacity)
+        clone._used = dict(self._used)
+        clone._link_flows = {link: set(flows)
+                             for link, flows in self._link_flows.items()}
+        clone._placements = dict(self._placements)
+        clone._rule_capacity = dict(self._rule_capacity)
+        clone._rules_used = dict(self._rules_used)
+        return clone
+
+    # ----------------------------------------------------------------- views
+
+    def view(self):
+        """Return a copy-on-write overlay for what-if planning."""
+        from repro.network.view import NetworkView
+        return NetworkView(self)

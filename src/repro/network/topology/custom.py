@@ -1,0 +1,51 @@
+"""Wrap an arbitrary user-supplied graph as a topology.
+
+Lets downstream users run the planner and schedulers on their own network
+graphs: mark host nodes with ``kind="host"``, give edges a ``capacity``
+attribute, and candidate paths come from shortest-path search.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.exceptions import TopologyError
+from repro.network.topology.base import Topology
+
+
+class CustomTopology(Topology):
+    """A topology over any directed graph.
+
+    Args:
+        graph: directed graph; nodes with ``kind == "host"`` are the hosts,
+            edges should carry ``capacity`` (Mbit/s).
+        name: label for reports.
+        max_paths: cap on enumerated candidate paths per host pair.
+
+    Undirected graphs are accepted and converted to bidirected form.
+    """
+
+    def __init__(self, graph: nx.Graph | nx.DiGraph, name: str = "custom",
+                 max_paths: int = 16):
+        super().__init__()
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("custom topology needs a non-empty graph")
+        if max_paths < 1:
+            raise TopologyError("max_paths must be >= 1")
+        if not graph.is_directed():
+            graph = graph.to_directed()
+        self._source = graph
+        self.name = name
+        self.max_paths = max_paths
+        if not any(d.get("kind") == "host"
+                   for __, d in graph.nodes(data=True)):
+            raise TopologyError("custom topology needs at least one node "
+                                "with kind='host'")
+
+    def _build(self) -> nx.DiGraph:
+        return self._source
+
+    def equal_cost_paths(self, src: str, dst: str) -> list[tuple[str, ...]]:
+        if src == dst:
+            raise TopologyError("src and dst hosts must differ")
+        return self._search_paths(src, dst, max_paths=self.max_paths)

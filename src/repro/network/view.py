@@ -1,0 +1,198 @@
+"""Copy-on-write what-if overlay over a :class:`NetworkState`.
+
+Cost probing is the inner loop of LMTF/P-LMTF: every scheduling round the
+scheduler plans ``α+1`` candidate events against the *current* network just to
+compare their costs, then executes at most a few of them. Copying the whole
+network per probe would dominate runtime, so a :class:`NetworkView` overlays
+only the links and flows the probe touches and can be thrown away for free.
+
+Views nest: P-LMTF builds a batch view on the live network, probes each
+candidate on a child view of the batch view, and commits the child when the
+candidate is admitted to the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.exceptions import (
+    DuplicateFlowError,
+    InsufficientBandwidthError,
+    InvalidPathError,
+    RuleSpaceError,
+    UnknownFlowError,
+)
+from repro.core.flow import Flow, Placement
+from repro.network.link import EPS, LinkId, format_link, is_simple_path, path_links
+from repro.network.state import NetworkState
+
+
+class NetworkView(NetworkState):
+    """A mutable overlay on a base network state.
+
+    Mutations are recorded locally and in an operation log; :meth:`commit`
+    replays the log onto the base. Discarding the view discards the what-if.
+    """
+
+    def __init__(self, base: NetworkState):
+        self._base = base
+        self._used_over: dict[LinkId, float] = {}
+        self._flows_over: dict[LinkId, set[str]] = {}
+        self._rules_over: dict[str, int] = {}
+        # flow_id -> Placement, or None as a tombstone for a removed flow.
+        self._placements_over: dict[str, Placement | None] = {}
+        self._log: list[tuple] = []
+
+    # ------------------------------------------------------------- structure
+
+    @property
+    def base(self) -> NetworkState:
+        return self._base
+
+    @property
+    def graph(self):
+        """The topology graph of the ultimate base network."""
+        node = self._base
+        while isinstance(node, NetworkView):
+            node = node._base
+        return node.graph  # type: ignore[attr-defined]
+
+    def links(self) -> Iterable[LinkId]:
+        return self._base.links()
+
+    # ----------------------------------------------------------------- reads
+
+    def capacity(self, u: str, v: str) -> float:
+        return self._base.capacity(u, v)
+
+    def used(self, u: str, v: str) -> float:
+        override = self._used_over.get((u, v))
+        if override is not None:
+            return override
+        return self._base.used(u, v)
+
+    def flows_on_link(self, u: str, v: str) -> frozenset[str]:
+        override = self._flows_over.get((u, v))
+        if override is not None:
+            return frozenset(override)
+        return self._base.flows_on_link(u, v)
+
+    def has_flow(self, flow_id: str) -> bool:
+        if flow_id in self._placements_over:
+            return self._placements_over[flow_id] is not None
+        return self._base.has_flow(flow_id)
+
+    def placement(self, flow_id: str) -> Placement:
+        if flow_id in self._placements_over:
+            placement = self._placements_over[flow_id]
+            if placement is None:
+                raise UnknownFlowError(f"flow {flow_id!r} removed in view")
+            return placement
+        return self._base.placement(flow_id)
+
+    def rule_capacity(self, node: str) -> int | None:
+        return self._base.rule_capacity(node)
+
+    def rules_used(self, node: str) -> int:
+        override = self._rules_over.get(node)
+        if override is not None:
+            return override
+        return self._base.rules_used(node)
+
+    @property
+    def tracks_rules(self) -> bool:
+        return self._base.tracks_rules
+
+    def flow_ids(self) -> Iterator[str]:
+        for fid in self._base.flow_ids():
+            if self._placements_over.get(fid, ...) is not None:
+                yield fid
+        for fid, placement in self._placements_over.items():
+            if placement is not None and not self._base.has_flow(fid):
+                yield fid
+
+    # ------------------------------------------------------------- mutations
+
+    def _touch_link(self, link: LinkId) -> None:
+        if link not in self._used_over:
+            self._used_over[link] = self._base.used(*link)
+            self._flows_over[link] = set(self._base.flows_on_link(*link))
+
+    def place(self, flow: Flow, path: Sequence[str]) -> Placement:
+        if self.has_flow(flow.flow_id):
+            raise DuplicateFlowError(f"flow {flow.flow_id!r} already placed")
+        placement = Placement(flow=flow, path=tuple(path))
+        if not is_simple_path(placement.path):
+            raise InvalidPathError(f"path {path!r} is not a simple path")
+        for u, v in placement.links:
+            # capacity() raises TopologyError for nonexistent links.
+            free = self.capacity(u, v) - self.used(u, v)
+            if free + EPS < flow.demand:
+                raise InsufficientBandwidthError(
+                    f"link {format_link((u, v))} has {free:.3f} Mbit/s free "
+                    f"in view, flow {flow.flow_id} needs {flow.demand:.3f}",
+                    bottleneck=(u, v), deficit=flow.demand - free)
+        if self.tracks_rules:
+            for node in placement.path:
+                limit = self.rule_capacity(node)
+                if limit is not None and self.rules_used(node) >= limit:
+                    raise RuleSpaceError(
+                        f"switch {node} rule table full ({limit} rules) "
+                        f"in view, cannot install {flow.flow_id}",
+                        switch=node)
+        for link in placement.links:
+            self._touch_link(link)
+            self._used_over[link] += flow.demand
+            self._flows_over[link].add(flow.flow_id)
+        if self.tracks_rules:
+            for node in placement.path:
+                if self.rule_capacity(node) is not None:
+                    self._rules_over[node] = self.rules_used(node) + 1
+        self._placements_over[flow.flow_id] = placement
+        self._log.append(("place", flow, placement.path))
+        return placement
+
+    def remove(self, flow_id: str) -> Placement:
+        placement = self.placement(flow_id)
+        for link in placement.links:
+            self._touch_link(link)
+            self._used_over[link] = max(
+                0.0, self._used_over[link] - placement.flow.demand)
+            self._flows_over[link].discard(flow_id)
+        if self.tracks_rules:
+            for node in placement.path:
+                if self.rule_capacity(node) is not None:
+                    self._rules_over[node] = self.rules_used(node) - 1
+        self._placements_over[flow_id] = None
+        self._log.append(("remove", flow_id))
+        return placement
+
+    # ------------------------------------------------------------ life cycle
+
+    def commit(self) -> None:
+        """Replay this view's mutations onto the base state.
+
+        After a commit the view is reset and tracks the base afresh, so it
+        may be reused for further what-if work.
+        """
+        for op in self._log:
+            if op[0] == "place":
+                __, flow, path = op
+                self._base.place(flow, path)
+            else:
+                __, flow_id = op
+                self._base.remove(flow_id)
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard all local mutations, making the view transparent again."""
+        self._used_over.clear()
+        self._flows_over.clear()
+        self._rules_over.clear()
+        self._placements_over.clear()
+        self._log.clear()
+
+    @property
+    def dirty(self) -> bool:
+        """True when the view holds uncommitted mutations."""
+        return bool(self._log)

@@ -1,0 +1,73 @@
+"""Oracle baselines: shortest-event-first scheduling with perfect knowledge.
+
+Not part of the paper — these contextualize LMTF by answering "how much of
+the benefit comes from cost being a *proxy* for event heaviness?". The
+oracles sort the whole queue by a directly observed size signal instead of
+probing migration costs:
+
+* ``width`` — fewest flows first,
+* ``duration`` — shortest max flow service time first (true SJF on the
+  execution phase),
+* ``demand`` — smallest total bandwidth demand first.
+
+Like the paper's intrinsic reorder method, oracles sacrifice fairness
+entirely; unlike it, they need no cost computation (so their plan time is
+FIFO-like). The ablation benches compare them against LMTF.
+"""
+
+from __future__ import annotations
+
+from repro.core.event import UpdateEvent
+from repro.sched.base import (
+    Admission,
+    QueuedEvent,
+    RoundDecision,
+    Scheduler,
+    SchedulingContext,
+)
+
+#: Signals an oracle may sort by.
+SIGNALS = ("width", "duration", "demand")
+
+
+def event_signal(event: UpdateEvent, signal: str) -> float:
+    """The sort key an oracle uses for one event."""
+    if signal == "width":
+        return float(len(event))
+    if signal == "duration":
+        return event.max_service_time
+    return event.total_demand
+
+
+class OracleSJFScheduler(Scheduler):
+    """Execute the smallest queued event first, by a perfect size signal.
+
+    Args:
+        signal: which size signal to sort by (``width`` / ``duration`` /
+            ``demand``).
+    """
+
+    name = "oracle-sjf"
+
+    def __init__(self, signal: str = "duration"):
+        if signal not in SIGNALS:
+            raise ValueError(f"unknown oracle signal {signal!r}; "
+                             f"pick one of {SIGNALS}")
+        self.signal = signal
+        self.name = f"oracle-sjf-{signal}"
+
+    def select(self, ctx: SchedulingContext) -> RoundDecision:
+        if not ctx.queue:
+            return RoundDecision()
+        ranked = sorted(ctx.queue,
+                        key=lambda q: (event_signal(q.event, self.signal),
+                                       q.seq))
+        ops = 0
+        for queued in ranked:
+            plan = self.plan_whole_event(ctx, queued)
+            ops += plan.planning_ops
+            if plan.feasible:
+                return RoundDecision(
+                    admissions=[Admission(queued=queued, plan=plan)],
+                    planning_ops=ops)
+        return RoundDecision(planning_ops=ops)

@@ -1,0 +1,43 @@
+"""The "intrinsic" full-reorder scheduler (paper §III-C / §IV-B).
+
+Every round it recomputes the update cost of *every* queued event against the
+current network state and executes the globally cheapest one. The paper uses
+this policy as a motivating straw-man: it fixes head-of-line blocking but
+"causes non-trivial computation and time overhead ... and destroys fairness".
+We implement it so the overhead and fairness loss can be measured
+head-to-head against LMTF (DESIGN.md §7 ablations).
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import EventPlan
+from repro.sched.base import (
+    Admission,
+    QueuedEvent,
+    RoundDecision,
+    Scheduler,
+    SchedulingContext,
+)
+from repro.sched.lmtf import LMTFScheduler
+
+
+class CostReorderScheduler(Scheduler):
+    """Execute the cheapest event in the whole queue each round."""
+
+    name = "reorder"
+
+    def select(self, ctx: SchedulingContext) -> RoundDecision:
+        if not ctx.queue:
+            return RoundDecision()
+        plans: list[tuple[QueuedEvent, EventPlan]] = []
+        ops = 0
+        for queued in ctx.queue:
+            plan = self.plan_whole_event(ctx, queued)
+            ops += plan.planning_ops
+            plans.append((queued, plan))
+        best = LMTFScheduler.pick_cheapest(plans)
+        if best is None:
+            return RoundDecision(planning_ops=ops)
+        queued, plan = best
+        return RoundDecision(admissions=[Admission(queued=queued, plan=plan)],
+                             planning_ops=ops)

@@ -1,0 +1,138 @@
+"""A minimal deterministic discrete-event simulation engine.
+
+The update simulator needs exact, reproducible time ordering for flow
+completions, background churn and scheduling rounds. This engine is a
+classic calendar queue: a heap of timestamped callbacks with a monotone
+clock, FIFO tie-breaking via a sequence number, and O(log n) cancellation
+through tombstones.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`SimulationEngine.schedule`."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _ScheduledEvent):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when popped."""
+        self._entry.cancelled = True
+
+
+class SimulationEngine:
+    """Priority-queue event loop with a monotone simulated clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) future events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """How many events have executed so far."""
+        return self._processed
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Raises:
+            SimulationError: the time lies in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, clock is at "
+                f"t={self._now:.6f}")
+        entry = _ScheduledEvent(time=time, seq=next(self._seq),
+                                callback=callback)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_after(self, delay: float,
+                       callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Execute the earliest pending event; False when none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000,
+            until: float | None = None) -> None:
+        """Drain the event queue.
+
+        Args:
+            max_events: safety valve against runaway simulations.
+            until: stop once the clock would pass this time (events at
+                exactly ``until`` still run).
+
+        Raises:
+            SimulationError: ``max_events`` was exhausted (almost always a
+                scheduling livelock in the caller's logic).
+        """
+        executed = 0
+        while self._heap:
+            if until is not None:
+                head = self._peek()
+                if head is None or head.time > until:
+                    return
+            if not self.step():
+                return
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"engine executed {executed} events without draining; "
+                    f"likely a scheduling livelock")
+
+    def _peek(self) -> _ScheduledEvent | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None

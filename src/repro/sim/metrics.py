@@ -1,0 +1,198 @@
+"""Metric collection: the paper's five evaluation metrics (§V-A).
+
+Per update event we record arrival, execution start, setup completion and
+completion times plus the realized ``Cost(U)``; the aggregates derived from
+them are exactly what the paper plots:
+
+* **total update cost** — sum of migrated traffic over all events,
+* **average ECT** — mean of (completion − arrival),
+* **tail ECT** — the slowest event's ECT (p95/p99 also reported),
+* **total plan time** — simulated seconds the controller spent planning,
+* **event queuing delay** — execution start − arrival, average and worst.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EventRecord:
+    """Lifecycle timestamps and realized cost of one update event."""
+
+    event_id: str
+    arrival_time: float
+    flow_count: int
+    exec_start_time: float | None = None
+    setup_done_time: float | None = None
+    completion_time: float | None = None
+    cost: float = 0.0
+    migrations: int = 0
+    rounds_waited: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def ect(self) -> float:
+        """Event completion time (paper's ECT)."""
+        if self.completion_time is None:
+            raise ValueError(f"event {self.event_id} has not completed")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def queuing_delay(self) -> float:
+        """Time spent queued before execution began."""
+        if self.exec_start_time is None:
+            raise ValueError(f"event {self.event_id} never started")
+        return self.exec_start_time - self.arrival_time
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    if not values:
+        raise ValueError("percentile of an empty list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate metrics of one simulation run."""
+
+    scheduler: str
+    event_count: int
+    total_cost: float
+    total_migrations: int
+    average_ect: float
+    tail_ect: float
+    p95_ect: float
+    p99_ect: float
+    average_queuing_delay: float
+    worst_queuing_delay: float
+    total_plan_time: float
+    makespan: float
+    rounds: int
+    per_event_ect: tuple[float, ...]
+    per_event_delay: tuple[float, ...]
+    per_event_cost: tuple[float, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (tuples become lists)."""
+        from dataclasses import asdict
+        data = asdict(self)
+        for key in ("per_event_ect", "per_event_delay", "per_event_cost"):
+            data[key] = list(data[key])
+        return data
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (f"{self.scheduler}: events={self.event_count} "
+                f"avgECT={self.average_ect:.2f}s tailECT={self.tail_ect:.2f}s "
+                f"cost={self.total_cost:.0f}Mbps "
+                f"avgQD={self.average_queuing_delay:.2f}s "
+                f"planT={self.total_plan_time:.3f}s rounds={self.rounds}")
+
+
+class MetricsCollector:
+    """Accumulates per-event records during a run and finalizes them."""
+
+    def __init__(self, scheduler_name: str):
+        self._scheduler = scheduler_name
+        self._records: dict[str, EventRecord] = {}
+        self._plan_time = 0.0
+        self._rounds = 0
+        self._makespan = 0.0
+
+    # --------------------------------------------------------------- record
+
+    def on_enqueue(self, event_id: str, arrival_time: float,
+                   flow_count: int) -> None:
+        if event_id in self._records:
+            raise ValueError(f"event {event_id} enqueued twice")
+        self._records[event_id] = EventRecord(
+            event_id=event_id, arrival_time=arrival_time,
+            flow_count=flow_count)
+
+    def on_round(self, plan_time: float) -> None:
+        self._rounds += 1
+        self._plan_time += plan_time
+
+    def on_wait(self, event_id: str) -> None:
+        self._record(event_id).rounds_waited += 1
+
+    def on_exec_start(self, event_id: str, time: float) -> None:
+        """Record when the event's update first began executing.
+
+        Idempotent: for the flow-level baseline an event executes across
+        many rounds and only the first one defines its queuing delay.
+        """
+        record = self._record(event_id)
+        if record.exec_start_time is None:
+            record.exec_start_time = time
+
+    def on_admission(self, event_id: str, cost: float,
+                     migrations: int) -> None:
+        """Accumulate realized plan cost; called once per admission."""
+        record = self._record(event_id)
+        record.cost += cost
+        record.migrations += migrations
+
+    def on_setup_done(self, event_id: str, time: float) -> None:
+        self._record(event_id).setup_done_time = time
+
+    def on_completion(self, event_id: str, time: float) -> None:
+        record = self._record(event_id)
+        record.completion_time = time
+        self._makespan = max(self._makespan, time)
+
+    def _record(self, event_id: str) -> EventRecord:
+        try:
+            return self._records[event_id]
+        except KeyError:
+            raise ValueError(f"unknown event {event_id}") from None
+
+    # ------------------------------------------------------------- finalize
+
+    @property
+    def records(self) -> dict[str, EventRecord]:
+        return dict(self._records)
+
+    def incomplete_events(self) -> list[str]:
+        return [eid for eid, r in self._records.items() if not r.completed]
+
+    def finalize(self) -> RunMetrics:
+        """Build the aggregate metrics; every event must have completed."""
+        incomplete = self.incomplete_events()
+        if incomplete:
+            raise ValueError(f"{len(incomplete)} events never completed: "
+                             f"{incomplete[:5]}")
+        records = sorted(self._records.values(),
+                         key=lambda r: r.arrival_time)
+        ects = [r.ect for r in records]
+        delays = [r.queuing_delay for r in records]
+        costs = [r.cost for r in records]
+        count = len(records)
+        return RunMetrics(
+            scheduler=self._scheduler,
+            event_count=count,
+            total_cost=sum(costs),
+            total_migrations=sum(r.migrations for r in records),
+            average_ect=sum(ects) / count if count else 0.0,
+            tail_ect=max(ects) if ects else 0.0,
+            p95_ect=percentile(ects, 95) if ects else 0.0,
+            p99_ect=percentile(ects, 99) if ects else 0.0,
+            average_queuing_delay=sum(delays) / count if count else 0.0,
+            worst_queuing_delay=max(delays) if delays else 0.0,
+            total_plan_time=self._plan_time,
+            makespan=self._makespan,
+            rounds=self._rounds,
+            per_event_ect=tuple(ects),
+            per_event_delay=tuple(delays),
+            per_event_cost=tuple(costs),
+        )

@@ -1,0 +1,448 @@
+"""Trace-driven network-update simulation (paper §V).
+
+The simulator wires everything together: events arrive into a queue, the
+scheduler is consulted in *rounds*, admitted plans are executed on the live
+network, and the admitted events' flows transmit until they complete — at
+which point the next round begins. This round barrier matches the paper's
+model (Fig. 3: each event occupies the network for its migration cost plus
+its execution time; the next event starts afterwards), and P-LMTF's benefit
+comes precisely from admitting several compatible events into one round.
+
+Timeline of one round::
+
+    round start (t0)            exec start (t0+plan)        round end
+    |-- plan: α+1 cost probes --|-- migrate ---|-- install --|-- flows
+    |                           |   (drain ∝ Cost(U))        |  transmit --|
+
+Every admitted flow's completion is an engine event; the round ends when the
+last admitted flow completes. An event completes when all its flows have
+completed (for the flow-level baseline that spans many rounds).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.core.event import UpdateEvent
+from repro.core.exceptions import InsufficientBandwidthError, SimulationError
+from repro.core.executor import PlanExecutor
+from repro.core.flow import Flow, FlowKind
+from repro.core.planner import EventPlanner
+from repro.network.network import Network
+from repro.network.routing.provider import PathProvider
+from repro.sched.base import (
+    Admission,
+    QueuedEvent,
+    RoundDecision,
+    Scheduler,
+    SchedulingContext,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsCollector, RunMetrics
+from repro.sim.timing import TimingModel
+from repro.sim.tracelog import SimulationListener
+from repro.traces.base import TraceGenerator
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-level simulator knobs.
+
+    Attributes:
+        seed: seed for the planner RNG (path tiebreaks). Scheduler sampling
+            uses the scheduler's own seed.
+        verify_invariants: re-derive and assert network bookkeeping after
+            every round (slow; the test suite turns it on).
+        stall_fallback: when the scheduler admits nothing, nothing is
+            running, and no future engine event can change the state, scan
+            the queue in arrival order and admit the first feasible event
+            instead of deadlocking. A strict-FIFO purist can turn this off
+            and accept :class:`SimulationError` on pathological workloads.
+        max_rounds: safety valve on scheduling rounds.
+        background_churn: when True, finite-duration background flows
+            complete over simulated time and (optionally) respawn, so the
+            network state — and therefore queued events' costs — keeps
+            changing, as §IV-A of the paper describes.
+        churn_respawn: replace each completed background flow with a fresh
+            trace flow to hold utilization roughly constant.
+        round_barrier: when the next scheduling round may start.
+            ``completion`` (default, matching the paper's Fig. 3 arithmetic
+            and its "an update event cannot finish until such flows have
+            been completed") waits for every admitted flow to finish
+            transmitting; an event's ECT then includes its flows'
+            transmissions. ``setup`` starts the next round as soon as the
+            admitted updates are installed (plan + migration drain +
+            install) — the pipelined reading in which ECT measures only the
+            update application; admitted flows keep transmitting across
+            subsequent rounds and contend with later events. Used by the
+            model-sensitivity ablation.
+    """
+
+    seed: int = 0
+    verify_invariants: bool = False
+    stall_fallback: bool = True
+    max_rounds: int = 1_000_000
+    background_churn: bool = False
+    churn_respawn: bool = True
+    round_barrier: str = "completion"
+
+    def __post_init__(self):
+        if self.round_barrier not in ("completion", "setup"):
+            raise ValueError(f"unknown round_barrier "
+                             f"{self.round_barrier!r}; pick 'completion' "
+                             f"or 'setup'")
+
+
+@dataclass
+class RoundLog:
+    """Diagnostic record of one scheduling round."""
+
+    index: int
+    start_time: float
+    plan_time: float
+    admitted_events: tuple[str, ...]
+    planning_ops: int
+    total_cost: float
+
+
+class UpdateSimulator:
+    """Runs a queue of update events through a scheduler on a live network.
+
+    Args:
+        network: the live network, typically preloaded with background
+            traffic (see :class:`~repro.traces.background.BackgroundLoader`).
+        provider: candidate-path lookup for the network's topology.
+        scheduler: inter-event scheduling policy.
+        planner: event planner; a default one is built from ``provider``.
+        timing: timing model; defaults to :class:`TimingModel`.
+        config: simulator knobs.
+        churn_trace: generator for respawned background flows (required when
+            ``config.background_churn and config.churn_respawn``).
+        listener: optional :class:`~repro.sim.tracelog.SimulationListener`
+            notified of rounds, admissions, completions and churn — pass a
+            :class:`~repro.sim.tracelog.TraceLog` to capture a structured
+            run log.
+    """
+
+    def __init__(self, network: Network, provider: PathProvider,
+                 scheduler: Scheduler, planner: EventPlanner | None = None,
+                 timing: TimingModel | None = None,
+                 config: SimulationConfig | None = None,
+                 churn_trace: TraceGenerator | None = None,
+                 listener: "SimulationListener | None" = None):
+        self._network = network
+        self._provider = provider
+        self._scheduler = scheduler
+        self._planner = planner or EventPlanner(provider)
+        self._timing = timing or TimingModel()
+        self._executor = PlanExecutor(self._timing)
+        self._config = config or SimulationConfig()
+        if (self._config.background_churn and self._config.churn_respawn
+                and churn_trace is None):
+            raise ValueError("background_churn with churn_respawn requires "
+                             "a churn_trace generator")
+        self._churn_trace = churn_trace
+        self._listener = listener
+        self._rng = random.Random(self._config.seed)
+        if churn_trace is not None:
+            # Respawned flows obey the same host-link cap as initial loading.
+            from repro.traces.background import BackgroundLoader
+            self._churn_loader = BackgroundLoader(
+                network, provider, churn_trace, random.Random(
+                    self._config.seed + 1))
+        else:
+            self._churn_loader = None
+        self._engine = SimulationEngine()
+        self._metrics = MetricsCollector(scheduler.name)
+        self._queue: list[QueuedEvent] = []
+        self._round_active = False
+        self._round_outstanding = 0
+        self._round_index = 0
+        self._event_outstanding: dict[str, int] = {}
+        self._event_done_queueing: set[str] = set()
+        self._rounds: list[RoundLog] = []
+        self._submitted: list[UpdateEvent] = []
+        self._events_remaining = 0
+        self._enqueue_seq = 0
+        self._churn_deficit = 0
+        self._ran = False
+
+    # ------------------------------------------------------------ public API
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @property
+    def rounds(self) -> list[RoundLog]:
+        """Diagnostic per-round log (available after :meth:`run`)."""
+        return list(self._rounds)
+
+    def submit(self, events: list[UpdateEvent]) -> None:
+        """Queue update events for the run (callable multiple times)."""
+        if self._ran:
+            raise SimulationError("simulator already ran; build a new one")
+        for event in events:
+            for flow in event.flows:
+                if math.isinf(flow.service_time):
+                    raise SimulationError(
+                        f"event {event.event_id} flow {flow.flow_id} has "
+                        f"infinite service time; event flows need a size or "
+                        f"duration")
+            self._submitted.append(event)
+
+    def run(self) -> RunMetrics:
+        """Execute the simulation to completion and return run metrics.
+
+        Raises:
+            SimulationError: the run deadlocked (some event can never be
+                placed) or exceeded ``max_rounds``.
+        """
+        if self._ran:
+            raise SimulationError("simulator already ran; build a new one")
+        if not self._submitted:
+            raise SimulationError("no events submitted")
+        self._ran = True
+        self._scheduler.reset()
+        for event in sorted(self._submitted, key=lambda e: e.arrival_time):
+            self._engine.schedule_at(event.arrival_time,
+                                     self._arrival_callback(event))
+        if self._config.background_churn:
+            self._setup_churn()
+        self._engine.run()
+        incomplete = self._metrics.incomplete_events()
+        if incomplete:
+            raise SimulationError(
+                f"simulation drained with {len(incomplete)} events "
+                f"incomplete: {incomplete[:5]}")
+        if self._config.verify_invariants:
+            self._network.check_invariants()
+        return self._metrics.finalize()
+
+    # -------------------------------------------------------------- arrivals
+
+    def _arrival_callback(self, event: UpdateEvent):
+        def on_arrival():
+            self._queue.append(QueuedEvent(event, seq=self._enqueue_seq))
+            self._enqueue_seq += 1
+            self._metrics.on_enqueue(event.event_id, self._engine.now,
+                                     len(event.flows))
+            self._events_remaining += 1
+            # Defer the round so that simultaneous arrivals (a batch queued
+            # at t=0) are all visible to the first scheduling decision.
+            self._engine.schedule_at(self._engine.now, self._maybe_round)
+        return on_arrival
+
+    # ---------------------------------------------------------------- rounds
+
+    def _maybe_round(self) -> None:
+        if self._round_active or not self._queue:
+            return
+        self._round_active = True
+        ctx = SchedulingContext(now=self._engine.now, queue=list(self._queue),
+                                planner=self._planner,
+                                network=self._network, rng=self._rng)
+        decision = self._scheduler.select(ctx)
+        if decision.empty and self._should_fallback():
+            decision = self._fallback_decision(ctx, decision.planning_ops)
+        plan_time = self._timing.plan_time(decision.planning_ops)
+        self._metrics.on_round(plan_time)
+        self._round_index += 1
+        if self._listener is not None:
+            self._listener.on_round(
+                self._engine.now, self._round_index,
+                [a.queued.event.event_id for a in decision.admissions],
+                decision.planning_ops, plan_time, len(self._queue))
+        if self._round_index > self._config.max_rounds:
+            raise SimulationError(
+                f"exceeded {self._config.max_rounds} scheduling rounds")
+        if decision.empty:
+            self._round_active = False
+            self._check_deadlock()
+            return
+        self._execute_round(decision, plan_time)
+
+    def _should_fallback(self) -> bool:
+        """Fallback only when waiting cannot help: nothing is running and no
+        future engine event (arrival, churn) will change the state."""
+        return (self._config.stall_fallback
+                and self._round_outstanding == 0
+                and self._engine.pending == 0)
+
+    def _fallback_decision(self, ctx: SchedulingContext,
+                           ops: int) -> RoundDecision:
+        """Admit the first feasible queued event in arrival order."""
+        for queued in ctx.queue:
+            plan = self._planner.plan_event(
+                self._network, queued.subevent(queued.remaining), self._rng,
+                commit=False)
+            ops += plan.planning_ops
+            if plan.feasible:
+                return RoundDecision(
+                    admissions=[Admission(queued=queued, plan=plan)],
+                    planning_ops=ops)
+        return RoundDecision(planning_ops=ops)
+
+    def _check_deadlock(self) -> None:
+        if self._round_outstanding == 0 and self._engine.pending == 0:
+            raise SimulationError(
+                f"deadlock: {len(self._queue)} events queued, nothing "
+                f"running, and no event can be placed (first blocked: "
+                f"{self._queue[0].event.event_id})")
+
+    def _execute_round(self, decision: RoundDecision,
+                       plan_time: float) -> None:
+        setup_barrier = self._config.round_barrier == "setup"
+        exec_start = self._engine.now + plan_time
+        admitted_ids = []
+        total_cost = 0.0
+        round_end = exec_start
+        for admission in decision.admissions:
+            record = self._executor.execute(self._network, admission.plan,
+                                            exec_start)
+            event_id = admission.queued.event.event_id
+            admitted_ids.append(event_id)
+            total_cost += admission.plan.cost
+            round_end = max(round_end, record.finish_setup_time)
+            self._metrics.on_exec_start(event_id, exec_start)
+            self._metrics.on_admission(event_id, admission.plan.cost,
+                                       admission.plan.migration_count)
+            self._metrics.on_setup_done(event_id, record.finish_setup_time)
+            if self._listener is not None:
+                self._listener.on_admission(
+                    exec_start, event_id, admission.plan.cost,
+                    admission.plan.migration_count,
+                    len(admission.plan.flow_plans))
+            admitted_flow_ids = set()
+            for flow_plan in admission.plan.flow_plans:
+                flow = flow_plan.flow
+                admitted_flow_ids.add(flow.flow_id)
+                finish = record.finish_setup_time + flow.service_time
+                if not setup_barrier:
+                    self._round_outstanding += 1
+                self._event_outstanding[event_id] = \
+                    self._event_outstanding.get(event_id, 0) + 1
+                self._engine.schedule_at(
+                    finish, self._flow_finish_callback(flow, event_id))
+            # Queue bookkeeping: drop admitted flows; drop drained events.
+            admission.queued.remaining = [
+                f for f in admission.queued.remaining
+                if f.flow_id not in admitted_flow_ids]
+            if admission.queued.done:
+                self._queue.remove(admission.queued)
+                self._event_done_queueing.add(event_id)
+                if setup_barrier:
+                    # Under the pipelined reading the event is "complete"
+                    # once its update is fully applied; its flows keep
+                    # transmitting as ordinary traffic.
+                    self._metrics.on_completion(event_id,
+                                                record.finish_setup_time)
+                    self._events_remaining -= 1
+                    if self._listener is not None:
+                        self._listener.on_event_complete(
+                            record.finish_setup_time, event_id)
+        for queued in self._queue:
+            self._metrics.on_wait(queued.event.event_id)
+        self._rounds.append(RoundLog(
+            index=self._round_index, start_time=self._engine.now,
+            plan_time=plan_time, admitted_events=tuple(admitted_ids),
+            planning_ops=decision.planning_ops, total_cost=total_cost))
+        if setup_barrier:
+            self._engine.schedule_at(round_end, self._end_round)
+        if self._config.verify_invariants:
+            self._network.check_invariants()
+
+    def _end_round(self) -> None:
+        self._round_active = False
+        self._maybe_round()
+
+    # ------------------------------------------------------------ completion
+
+    def _flow_finish_callback(self, flow: Flow, event_id: str):
+        setup_barrier = self._config.round_barrier == "setup"
+
+        def on_finish():
+            self._network.remove(flow.flow_id)
+            self._event_outstanding[event_id] -= 1
+            if self._listener is not None:
+                self._listener.on_flow_finish(self._engine.now,
+                                              flow.flow_id, event_id)
+            if setup_barrier:
+                # Completion was recorded at setup time; flow drain only
+                # frees bandwidth (and may unblock a waiting round).
+                self._maybe_round()
+                return
+            if (self._event_outstanding[event_id] == 0
+                    and event_id in self._event_done_queueing):
+                self._metrics.on_completion(event_id, self._engine.now)
+                self._events_remaining -= 1
+                if self._listener is not None:
+                    self._listener.on_event_complete(self._engine.now,
+                                                     event_id)
+            self._round_outstanding -= 1
+            if self._round_outstanding == 0:
+                self._round_active = False
+                self._maybe_round()
+        return on_finish
+
+    # ----------------------------------------------------------------- churn
+
+    def _setup_churn(self) -> None:
+        for flow_id in list(self._network.flow_ids()):
+            flow = self._network.placement(flow_id).flow
+            if (flow.kind is FlowKind.BACKGROUND
+                    and not math.isinf(flow.service_time)):
+                self._engine.schedule_at(
+                    self._engine.now + flow.service_time,
+                    self._background_finish_callback(flow))
+
+    def _background_finish_callback(self, flow: Flow):
+        def on_finish():
+            if self._network.has_flow(flow.flow_id):
+                self._network.remove(flow.flow_id)
+            # Churn exists to perturb queued events' costs; once every
+            # event has completed, respawning would only keep the engine
+            # alive forever.
+            before = self._churn_deficit
+            if (self._events_remaining > 0
+                    and self._config.churn_respawn
+                    and self._churn_trace is not None):
+                self._respawn_background()
+            if self._listener is not None:
+                self._listener.on_churn(
+                    self._engine.now, flow.flow_id,
+                    respawned=max(0, before + 1 - self._churn_deficit))
+            self._maybe_round()
+        return on_finish
+
+    def _respawn_background(self) -> None:
+        """Replace a completed background flow, keeping utilization level.
+
+        When the network is momentarily too hot to place a replacement, the
+        shortfall is remembered (``_churn_deficit``) and repaid at later
+        churn ticks, so long runs do not silently decay below the loaded
+        utilization target.
+        """
+        self._churn_deficit += 1
+        spawned = 0
+        while self._churn_deficit > 0 and spawned < 8:
+            replacement = self._churn_trace.sample_flow(
+                kind=FlowKind.BACKGROUND, permanent=False)
+            path = self._churn_loader.best_path(replacement)
+            if path is None:
+                break
+            try:
+                self._network.place(replacement, path)
+            except InsufficientBandwidthError:
+                break  # rule-limited networks can refuse; repay later
+            self._engine.schedule_at(
+                self._engine.now + replacement.service_time,
+                self._background_finish_callback(replacement))
+            self._churn_deficit -= 1
+            spawned += 1

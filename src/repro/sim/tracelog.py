@@ -1,0 +1,110 @@
+"""Simulation observability: listeners and a structured trace log.
+
+A :class:`SimulationListener` receives a callback for every significant
+simulator transition (round decided, event admitted, flow finished,
+background churned). :class:`TraceLog` is the bundled implementation — it
+accumulates structured records and can dump them as JSON Lines, which makes
+scheduler behaviour diffable across runs ("why did LMTF defer U7 in round
+3?") without attaching a debugger to a discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+
+class SimulationListener:
+    """Callback interface the simulator notifies; all hooks default to
+    no-ops so implementations override only what they need."""
+
+    def on_round(self, time: float, round_index: int, admitted: list[str],
+                 planning_ops: int, plan_time: float,
+                 queue_depth: int) -> None:
+        """A scheduling round was decided (possibly admitting nothing)."""
+
+    def on_admission(self, time: float, event_id: str, cost: float,
+                     migrations: int, flows: int) -> None:
+        """One event (or event fragment) was admitted for execution."""
+
+    def on_event_complete(self, time: float, event_id: str) -> None:
+        """An update event finished."""
+
+    def on_flow_finish(self, time: float, flow_id: str,
+                       event_id: str | None) -> None:
+        """A flow completed its transmission and left the network."""
+
+    def on_churn(self, time: float, finished_flow_id: str,
+                 respawned: int) -> None:
+        """A background flow completed (and may have been replaced)."""
+
+
+@dataclass
+class TraceRecord:
+    """One structured log record."""
+
+    time: float
+    kind: str
+    data: dict[str, Any]
+
+    def to_json(self) -> str:
+        return json.dumps({"t": round(self.time, 6), "kind": self.kind,
+                           **self.data})
+
+
+@dataclass
+class TraceLog(SimulationListener):
+    """Accumulates simulator transitions as structured records.
+
+    Args:
+        capture_flows: record per-flow completions too (high volume —
+            thousands of records on churny runs; off by default).
+    """
+
+    capture_flows: bool = False
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def _add(self, time: float, kind: str, **data: Any) -> None:
+        self.records.append(TraceRecord(time=time, kind=kind, data=data))
+
+    # ------------------------------------------------------------- listener
+
+    def on_round(self, time, round_index, admitted, planning_ops,
+                 plan_time, queue_depth):
+        self._add(time, "round", index=round_index, admitted=admitted,
+                  ops=planning_ops, plan_time=round(plan_time, 6),
+                  queue=queue_depth)
+
+    def on_admission(self, time, event_id, cost, migrations, flows):
+        self._add(time, "admission", event=event_id, cost=round(cost, 3),
+                  migrations=migrations, flows=flows)
+
+    def on_event_complete(self, time, event_id):
+        self._add(time, "complete", event=event_id)
+
+    def on_flow_finish(self, time, flow_id, event_id):
+        if self.capture_flows:
+            self._add(time, "flow_finish", flow=flow_id, event=event_id)
+
+    def on_churn(self, time, finished_flow_id, respawned):
+        if self.capture_flows:
+            self._add(time, "churn", flow=finished_flow_id,
+                      respawned=respawned)
+
+    # --------------------------------------------------------------- export
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def to_jsonl(self) -> str:
+        """The whole log as JSON Lines."""
+        return "\n".join(record.to_json() for record in self.records)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_jsonl() + "\n")
+
+    def __len__(self) -> int:
+        return len(self.records)

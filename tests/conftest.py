@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Most tests run on a k=4 Fat-Tree (16 hosts, 20 switches) — big enough to
+exercise multi-path routing and migration, small enough to keep the suite
+fast. Fixtures that load background traffic cache the loaded network at
+session scope and hand tests cheap copies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.flow import Flow, FlowKind, next_flow_id
+from repro.core.planner import EventPlanner
+from repro.network.routing.provider import PathProvider
+from repro.network.topology.fattree import FatTreeTopology
+from repro.traces.background import BackgroundLoader
+from repro.traces.yahoo import YahooLikeTrace
+
+
+@pytest.fixture(scope="session")
+def fattree4() -> FatTreeTopology:
+    return FatTreeTopology(k=4)
+
+
+@pytest.fixture(scope="session")
+def provider4(fattree4) -> PathProvider:
+    return PathProvider(fattree4)
+
+
+@pytest.fixture()
+def network4(fattree4):
+    """A fresh, empty k=4 fat-tree network."""
+    return fattree4.network()
+
+
+@pytest.fixture(scope="session")
+def _loaded_base(fattree4, provider4):
+    """Session-cached k=4 network loaded to ~60% utilization."""
+    network = fattree4.network()
+    trace = YahooLikeTrace(fattree4.hosts(), seed=42)
+    loader = BackgroundLoader(network, provider4, trace, random.Random(7))
+    loader.load_to_utilization(0.6)
+    return network
+
+
+@pytest.fixture()
+def loaded_network4(_loaded_base):
+    """A fresh copy of the 60%-loaded k=4 network."""
+    return _loaded_base.copy()
+
+
+@pytest.fixture()
+def planner4(provider4) -> EventPlanner:
+    return EventPlanner(provider4)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+def make_flow(src: str, dst: str, demand: float = 10.0,
+              duration: float | None = 1.0, **kwargs) -> Flow:
+    """Test helper: a flow with sane defaults and a unique id."""
+    return Flow(flow_id=next_flow_id(), src=src, dst=dst, demand=demand,
+                duration=duration, **kwargs)
+
+
+@pytest.fixture()
+def flow_factory():
+    return make_flow

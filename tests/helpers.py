@@ -1,0 +1,56 @@
+"""Shared test scaffolding: small controllable topologies and builders."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.flow import Flow
+from repro.network.routing.provider import PathProvider
+from repro.network.topology.custom import CustomTopology
+
+#: a->b update-flow paths through the diamond
+TOP = ("a", "s1", "top", "s2", "b")
+BOT = ("a", "s1", "bot", "s2", "b")
+#: c->d and e->f background paths (share only middle links with a->b)
+BG_TOP = ("c", "s1", "top", "s2", "d")
+BG_BOT = ("c", "s1", "bot", "s2", "d")
+EF_TOP = ("e", "s1", "top", "s2", "f")
+EF_BOT = ("e", "s1", "bot", "s2", "f")
+
+
+def diamond_topology(capacity: float = 100.0) -> CustomTopology:
+    """Hosts a,b,c,d around two disjoint middle paths (top / bot)."""
+    g = nx.Graph()
+    for h in ("a", "b", "c", "d", "e", "f"):
+        g.add_node(h, kind="host")
+    for s in ("s1", "s2", "top", "bot"):
+        g.add_node(s, kind="switch")
+    for u, v in (("a", "s1"), ("c", "s1"), ("e", "s1"),
+                 ("s1", "top"), ("s1", "bot"), ("top", "s2"),
+                 ("bot", "s2"), ("s2", "b"), ("s2", "d"), ("s2", "f")):
+        g.add_edge(u, v, capacity=capacity)
+    return CustomTopology(g, name="diamond", max_paths=4)
+
+
+def diamond_setup(capacity: float = 100.0):
+    """(network, provider) for a fresh diamond."""
+    topo = diamond_topology(capacity)
+    return topo.network(), PathProvider(topo)
+
+
+def ab_flow(fid: str, demand: float, duration: float = 1.0) -> Flow:
+    """An a->b flow (update-style)."""
+    return Flow(flow_id=fid, src="a", dst="b", demand=demand,
+                duration=duration)
+
+
+def cd_flow(fid: str, demand: float, duration: float | None = None) -> Flow:
+    """A c->d flow (background-style; permanent unless given a duration)."""
+    return Flow(flow_id=fid, src="c", dst="d", demand=demand,
+                duration=duration)
+
+
+def ef_flow(fid: str, demand: float, duration: float | None = None) -> Flow:
+    """An e->f flow (second background pair, independent host links)."""
+    return Flow(flow_id=fid, src="e", dst="f", demand=demand,
+                duration=duration)

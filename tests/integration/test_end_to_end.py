@@ -1,0 +1,136 @@
+"""Integration: the full pipeline on a k=4 Fat-Tree.
+
+Loads Yahoo!-like background to 60%, queues Benson-style update events, and
+runs every scheduler on identical network copies, checking both mechanical
+soundness (invariants, completion) and the paper's qualitative orderings.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    BackgroundLoader,
+    BensonLikeTrace,
+    CostReorderScheduler,
+    EventGenerator,
+    FatTreeTopology,
+    FIFOScheduler,
+    FlowLevelScheduler,
+    LMTFScheduler,
+    PathProvider,
+    PLMTFScheduler,
+    SimulationConfig,
+    UpdateSimulator,
+    YahooLikeTrace,
+)
+from repro.traces.events import EventGeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = FatTreeTopology(k=4)
+    provider = PathProvider(topo)
+    network = topo.network()
+    trace = YahooLikeTrace(topo.hosts(), seed=11)
+    loader = BackgroundLoader(network, provider, trace, random.Random(12))
+    report = loader.load_to_utilization(0.6)
+    assert report.utilization >= 0.55
+    config = EventGeneratorConfig(min_flows=5, max_flows=20,
+                                  host_demand_cap=100.0)
+    generator = EventGenerator(
+        BensonLikeTrace(topo.hosts(), seed=13, duration_median=1.0),
+        config=config, seed=14)
+    events = generator.generate(8)
+    return topo, provider, network, events
+
+
+def run(world, scheduler, **config_kwargs):
+    topo, provider, network, events = world
+    simulator = UpdateSimulator(
+        network.copy(), provider, scheduler,
+        config=SimulationConfig(seed=5, verify_invariants=True,
+                                **config_kwargs))
+    simulator.submit(events)
+    return simulator.run()
+
+
+class TestAllSchedulersComplete:
+    @pytest.mark.parametrize("scheduler_factory", [
+        FIFOScheduler,
+        lambda: LMTFScheduler(alpha=2, seed=3),
+        lambda: PLMTFScheduler(alpha=2, seed=3),
+        CostReorderScheduler,
+        FlowLevelScheduler,
+        lambda: FlowLevelScheduler(order="arrival"),
+    ])
+    def test_completes_with_sane_metrics(self, world, scheduler_factory):
+        metrics = run(world, scheduler_factory())
+        assert metrics.event_count == 8
+        assert metrics.average_ect > 0
+        assert metrics.tail_ect >= metrics.p99_ect >= metrics.p95_ect
+        assert metrics.worst_queuing_delay >= metrics.average_queuing_delay
+        assert metrics.total_plan_time > 0
+        assert len(metrics.per_event_ect) == 8
+
+
+class TestPaperOrderings:
+    def test_event_level_beats_flow_level(self, world):
+        fifo = run(world, FIFOScheduler())
+        flow = run(world, FlowLevelScheduler())
+        assert fifo.average_ect < flow.average_ect
+        assert fifo.tail_ect <= flow.tail_ect
+
+    def test_plmtf_at_most_fifo_average(self, world):
+        fifo = run(world, FIFOScheduler())
+        plmtf = run(world, PLMTFScheduler(alpha=2, seed=3))
+        assert plmtf.average_ect <= fifo.average_ect * 1.01
+        assert plmtf.rounds <= fifo.rounds
+
+    def test_plan_time_ordering(self, world):
+        fifo = run(world, FIFOScheduler())
+        lmtf = run(world, LMTFScheduler(alpha=2, seed=3))
+        reorder = run(world, CostReorderScheduler())
+        assert fifo.total_plan_time < lmtf.total_plan_time
+        assert lmtf.total_plan_time < reorder.total_plan_time
+
+    def test_same_events_same_arrivals(self, world):
+        fifo = run(world, FIFOScheduler())
+        lmtf = run(world, LMTFScheduler(alpha=2, seed=3))
+        assert fifo.event_count == lmtf.event_count
+
+
+class TestBarrierModes:
+    def test_setup_barrier_runs(self, world):
+        metrics = run(world, FIFOScheduler(), round_barrier="setup")
+        assert metrics.event_count == 8
+        # setup-time ECTs exclude flow transmissions: strictly faster
+        completion = run(world, FIFOScheduler())
+        assert metrics.average_ect < completion.average_ect
+
+
+class TestChurnIntegration:
+    def test_run_with_churn(self):
+        topo = FatTreeTopology(k=4)
+        provider = PathProvider(topo)
+        network = topo.network()
+        trace = YahooLikeTrace(topo.hosts(), seed=21,
+                               duration_median=10.0)
+        loader = BackgroundLoader(network, provider, trace,
+                                  random.Random(22))
+        loader.load_to_utilization(0.5, permanent=False)
+        config = EventGeneratorConfig(min_flows=5, max_flows=15,
+                                      host_demand_cap=100.0)
+        events = EventGenerator(
+            BensonLikeTrace(topo.hosts(), seed=23, duration_median=1.0),
+            config=config, seed=24).generate(5)
+        churn = YahooLikeTrace(topo.hosts(), seed=25, duration_median=10.0)
+        simulator = UpdateSimulator(
+            network, provider, LMTFScheduler(alpha=2, seed=3),
+            config=SimulationConfig(seed=5, background_churn=True,
+                                    verify_invariants=True),
+            churn_trace=churn)
+        simulator.submit(events)
+        metrics = simulator.run()
+        assert metrics.event_count == 5
+        network.check_invariants()

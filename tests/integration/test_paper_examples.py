@@ -1,0 +1,66 @@
+"""Integration: pin the paper's worked examples and headline directions.
+
+These tests encode what the paper *states*, so a regression that silently
+changes the reproduced semantics fails loudly here.
+"""
+
+import pytest
+
+from repro.experiments import fig2, fig3
+from repro.experiments.toys import (
+    cost_order_ects,
+    event_level_ects,
+    fifo_ects,
+    flow_level_ects,
+    paper_fig2_events,
+    paper_fig3_events,
+)
+
+
+class TestFig2Statement:
+    """Paper §II: 'The average ECT of the three events is (3+7+12)/3=22/3
+    under the event-level scheduling manner, which is lower than
+    (9+11+12)/3=32/3 under the flow-level scheduling manner.'"""
+
+    def test_event_level_completions(self):
+        assert event_level_ects(paper_fig2_events()) == [3.0, 7.0, 12.0]
+
+    def test_flow_level_completions(self):
+        assert flow_level_ects(paper_fig2_events(),
+                               round_order=[2, 1, 0]) == [9.0, 11.0, 12.0]
+
+    def test_averages(self):
+        events = paper_fig2_events()
+        event_avg = sum(event_level_ects(events)) / 3
+        flow_avg = sum(flow_level_ects(events, round_order=[2, 1, 0])) / 3
+        assert event_avg == pytest.approx(22 / 3)
+        assert flow_avg == pytest.approx(32 / 3)
+        assert event_avg < flow_avg
+
+    def test_figure_module_agrees(self):
+        rows = fig2.run().rows
+        assert rows[0]["event_level_ect"] == 3.0
+        assert rows[2]["flow_level_ect"] == 12.0
+
+
+class TestFig3Statement:
+    """Paper §IV-B: FIFO average ECT (5+7+9)/3 = 7 s and tail 9 s; cost
+    ordering gives (2+4+9)/3 = 5 s with the same tail."""
+
+    def test_fifo(self):
+        ects = fifo_ects(paper_fig3_events())
+        assert ects == [5.0, 7.0, 9.0]
+
+    def test_cost_order(self):
+        ects = cost_order_ects(paper_fig3_events())
+        assert sorted(ects.values()) == [2.0, 4.0, 9.0]
+
+    def test_tail_preserved(self):
+        events = paper_fig3_events()
+        assert max(fifo_ects(events)) == 9.0
+        assert max(cost_order_ects(events).values()) == 9.0
+
+    def test_figure_module_agrees(self):
+        rows = fig3.run().rows
+        assert rows[-1]["fifo_ect"] == pytest.approx(7.0)
+        assert rows[-1]["cost_order_ect"] == pytest.approx(5.0)

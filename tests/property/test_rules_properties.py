@@ -1,0 +1,105 @@
+"""Property-based tests for rule-table accounting under random operations."""
+
+import sys
+from pathlib import Path
+
+import networkx as nx
+import pytest
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.core.exceptions import InsufficientBandwidthError
+from repro.core.flow import Flow
+from repro.network.routing.provider import PathProvider
+from repro.network.topology.custom import CustomTopology
+
+
+def limited_diamond() -> CustomTopology:
+    g = nx.Graph()
+    for h in ("a", "b", "c", "d"):
+        g.add_node(h, kind="host")
+    g.add_node("s1", kind="switch", rule_capacity=12)
+    g.add_node("s2", kind="switch", rule_capacity=12)
+    g.add_node("top", kind="switch", rule_capacity=5)
+    g.add_node("bot", kind="switch", rule_capacity=5)
+    for u, v in (("a", "s1"), ("c", "s1"), ("s1", "top"), ("s1", "bot"),
+                 ("top", "s2"), ("bot", "s2"), ("s2", "b"), ("s2", "d")):
+        g.add_edge(u, v, capacity=1000.0)
+    return CustomTopology(g, name="limited", max_paths=4)
+
+
+TOPO = limited_diamond()
+PROVIDER = PathProvider(TOPO)
+PAIRS = [("a", "b"), ("c", "d")]
+SWITCHES = ("s1", "s2", "top", "bot")
+
+
+class RuleAccountingMachine(RuleBasedStateMachine):
+    """Random place/remove/reroute sequences never bust any rule budget,
+    and rule counts always equal the number of on-path flows."""
+
+    def __init__(self):
+        super().__init__()
+        self.network = TOPO.network()
+        self.counter = 0
+        self.placed: dict[str, tuple[str, str]] = {}
+
+    @rule(pair=st.sampled_from(PAIRS),
+          demand=st.floats(min_value=1.0, max_value=20.0),
+          path_index=st.integers(min_value=0, max_value=3))
+    def place(self, pair, demand, path_index):
+        src, dst = pair
+        paths = PROVIDER.paths(src, dst)
+        path = paths[path_index % len(paths)]
+        fid = f"rf{self.counter}"
+        self.counter += 1
+        flow = Flow(flow_id=fid, src=src, dst=dst, demand=demand)
+        try:
+            self.network.place(flow, path)
+        except InsufficientBandwidthError:
+            return  # bandwidth or rule shortage; either is a valid refusal
+        self.placed[fid] = pair
+
+    @rule(index=st.integers(min_value=0, max_value=100))
+    def remove(self, index):
+        if not self.placed:
+            return
+        fid = sorted(self.placed)[index % len(self.placed)]
+        self.network.remove(fid)
+        del self.placed[fid]
+
+    @rule(index=st.integers(min_value=0, max_value=100),
+          path_index=st.integers(min_value=0, max_value=3))
+    def reroute(self, index, path_index):
+        if not self.placed:
+            return
+        fid = sorted(self.placed)[index % len(self.placed)]
+        src, dst = self.placed[fid]
+        paths = PROVIDER.paths(src, dst)
+        try:
+            self.network.reroute(fid, paths[path_index % len(paths)])
+        except InsufficientBandwidthError:
+            pass
+
+    @invariant()
+    def budgets_respected(self):
+        for switch in SWITCHES:
+            limit = self.network.rule_capacity(switch)
+            assert self.network.rules_used(switch) <= limit
+
+    @invariant()
+    def rules_match_flow_table(self):
+        self.network.check_invariants()
+
+    @invariant()
+    def middle_switch_occupancy_bounded(self):
+        # at most 5 flows may ever cross each middle switch
+        for middle in ("top", "bot"):
+            crossing = len(self.network.flows_on_link("s1", middle)) + \
+                len(self.network.flows_on_link(middle, "s1"))
+            assert crossing <= 5
+
+
+TestRuleAccountingMachine = RuleAccountingMachine.TestCase

@@ -1,0 +1,83 @@
+"""Property-based tests for topology path enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.link import path_links
+from repro.network.topology.fattree import FatTreeTopology
+from repro.network.topology.leafspine import LeafSpineTopology
+
+FATTREES = {k: FatTreeTopology(k=k) for k in (2, 4, 8)}
+
+
+def host_index_strategy(k):
+    half = k // 2
+    return st.tuples(st.integers(0, k - 1), st.integers(0, half - 1),
+                     st.integers(0, half - 1))
+
+
+@st.composite
+def fat_tree_pair(draw):
+    k = draw(st.sampled_from([2, 4, 8]))
+    a = draw(host_index_strategy(k))
+    b = draw(host_index_strategy(k))
+    if a == b:
+        b = ((a[0] + 1) % k, a[1], a[2])
+    topo = FATTREES[k]
+    return topo, topo.host_name(*a), topo.host_name(*b)
+
+
+class TestFatTreePathProperties:
+    @given(pair=fat_tree_pair())
+    @settings(max_examples=150, deadline=None)
+    def test_paths_valid_and_counted(self, pair):
+        topo, src, dst = pair
+        half = topo.k // 2
+        graph = topo.graph()
+        paths = topo.equal_cost_paths(src, dst)
+
+        sp, se, __ = topo.locate_host(src)
+        dp, de, __ = topo.locate_host(dst)
+        if sp == dp and se == de:
+            expected = 1
+        elif sp == dp:
+            expected = half
+        else:
+            expected = half * half
+        assert len(paths) == expected
+        assert len(set(paths)) == expected  # all distinct
+
+        for path in paths:
+            assert path[0] == src and path[-1] == dst
+            assert len(set(path)) == len(path)  # simple
+            for u, v in path_links(path):
+                assert graph.has_edge(u, v)
+
+    @given(pair=fat_tree_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_paths_symmetric_in_length(self, pair):
+        topo, src, dst = pair
+        forward = topo.equal_cost_paths(src, dst)
+        backward = topo.equal_cost_paths(dst, src)
+        assert sorted(len(p) for p in forward) == \
+            sorted(len(p) for p in backward)
+
+
+class TestLeafSpinePathProperties:
+    TOPO = LeafSpineTopology(leaves=6, spines=4, hosts_per_leaf=3)
+
+    @given(a=st.tuples(st.integers(0, 5), st.integers(0, 2)),
+           b=st.tuples(st.integers(0, 5), st.integers(0, 2)))
+    @settings(max_examples=100, deadline=None)
+    def test_paths_valid(self, a, b):
+        if a == b:
+            b = ((a[0] + 1) % 6, a[1])
+        src = self.TOPO.host_name(*a)
+        dst = self.TOPO.host_name(*b)
+        paths = self.TOPO.equal_cost_paths(src, dst)
+        expected = 1 if a[0] == b[0] else 4
+        assert len(paths) == expected
+        graph = self.TOPO.graph()
+        for path in paths:
+            for u, v in path_links(path):
+                assert graph.has_edge(u, v)

@@ -1,0 +1,94 @@
+"""Unit tests for normalization helpers and table rendering."""
+
+import pytest
+
+from repro.analysis.normalize import (
+    normalize_by_max,
+    percent_reduction,
+    speedup,
+)
+from repro.analysis.tables import format_cell, render_table
+from repro.experiments.results import ExperimentResult
+
+
+class TestNormalize:
+    def test_normalize_by_own_max(self):
+        assert normalize_by_max([1.0, 2.0, 4.0]) == [0.25, 0.5, 1.0]
+
+    def test_normalize_by_reference(self):
+        out = normalize_by_max([1.0, 2.0], reference=[10.0])
+        assert out == [0.1, 0.2]
+
+    def test_normalize_empty(self):
+        assert normalize_by_max([]) == []
+
+    def test_normalize_zero_peak(self):
+        assert normalize_by_max([0.0, 0.0]) == [0.0, 0.0]
+
+    def test_percent_reduction(self):
+        assert percent_reduction(100.0, 25.0) == pytest.approx(75.0)
+        assert percent_reduction(100.0, 150.0) == pytest.approx(-50.0)
+        assert percent_reduction(0.0, 5.0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_ranges(self):
+        assert format_cell(1234.5) == "1234"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(0.1234) == "0.123"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_cell("plmtf") == "plmtf"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "value"],
+                            [{"name": "alpha", "value": 1.0},
+                             {"name": "b", "value": 22.5}],
+                            title="demo", notes=["a note"])
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[-1] == "note: a note"
+        # all body rows align on the separator width
+        assert len(lines[2]) == len(lines[3])
+
+    def test_missing_cells_dash(self):
+        text = render_table(["a", "b"], [{"a": 1}])
+        assert "-" in text.splitlines()[-1]
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult(name="x", title="t", columns=["a", "b"])
+        result.add_row(a=1, b=2)
+        result.add_row(a=3, b=4)
+        assert result.column("a") == [1, 3]
+
+    def test_to_table_renders(self):
+        result = ExperimentResult(name="x", title="t", columns=["a"])
+        result.add_row(a=1)
+        result.notes.append("context")
+        text = result.to_table()
+        assert "x: t" in text
+        assert "note: context" in text

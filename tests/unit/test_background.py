@@ -1,0 +1,114 @@
+"""Unit tests for the background-traffic loader."""
+
+import random
+
+import pytest
+
+from repro.network.routing.provider import PathProvider
+from repro.network.topology.fattree import FatTreeTopology
+from repro.traces.background import BackgroundLoader
+from repro.traces.yahoo import YahooLikeTrace
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return FatTreeTopology(k=4)
+
+
+@pytest.fixture(scope="module")
+def provider(topo):
+    return PathProvider(topo)
+
+
+def make_loader(topo, provider, seed=1, **kwargs):
+    net = topo.network()
+    trace = YahooLikeTrace(topo.hosts(), seed=seed)
+    loader = BackgroundLoader(net, provider, trace,
+                              random.Random(seed + 10), **kwargs)
+    return net, loader
+
+
+class TestValidation:
+    def test_bad_host_cap(self, topo, provider):
+        net = topo.network()
+        trace = YahooLikeTrace(topo.hosts(), seed=1)
+        with pytest.raises(ValueError):
+            BackgroundLoader(net, provider, trace, host_link_cap=0.0)
+        with pytest.raises(ValueError):
+            BackgroundLoader(net, provider, trace, host_link_cap=1.5)
+
+    def test_bad_path_policy(self, topo, provider):
+        net = topo.network()
+        trace = YahooLikeTrace(topo.hosts(), seed=1)
+        with pytest.raises(ValueError, match="path policy"):
+            BackgroundLoader(net, provider, trace, path_policy="scenic")
+
+    def test_bad_target(self, topo, provider):
+        net, loader = make_loader(topo, provider)
+        with pytest.raises(ValueError):
+            loader.load_to_utilization(1.0)
+        with pytest.raises(ValueError):
+            loader.load_to_utilization(-0.1)
+
+
+class TestLoading:
+    def test_reaches_target_utilization(self, topo, provider):
+        net, loader = make_loader(topo, provider)
+        report = loader.load_to_utilization(0.4)
+        assert report.utilization >= 0.4
+        assert report.utilization == pytest.approx(
+            net.average_utilization())
+        assert len(report.placed) > 0
+        net.check_invariants()
+
+    def test_placed_flows_are_permanent_by_default(self, topo, provider):
+        net, loader = make_loader(topo, provider)
+        report = loader.load_to_utilization(0.2)
+        assert all(f.duration is None for f in report.placed)
+
+    def test_finite_flows_on_request(self, topo, provider):
+        net, loader = make_loader(topo, provider)
+        report = loader.load_to_utilization(0.2, permanent=False)
+        assert all(f.duration is not None for f in report.placed)
+
+    def test_host_cap_respected(self, topo, provider):
+        net, loader = make_loader(topo, provider, host_link_cap=0.5)
+        loader.load_to_utilization(0.45, max_rejects=500)
+        for host in net.hosts():
+            for neighbor in net.graph.successors(host):
+                assert net.used(host, neighbor) <= 0.5 * 1000.0 + 1e-6
+                assert net.used(neighbor, host) <= 0.5 * 1000.0 + 1e-6
+
+    def test_max_flows_cap(self, topo, provider):
+        net, loader = make_loader(topo, provider)
+        report = loader.load_to_utilization(0.6, max_flows=10)
+        assert len(report.placed) == 10
+
+    def test_deterministic(self, topo, provider):
+        net1, loader1 = make_loader(topo, provider, seed=5)
+        net2, loader2 = make_loader(topo, provider, seed=5)
+        r1 = loader1.load_to_utilization(0.3)
+        r2 = loader2.load_to_utilization(0.3)
+        assert [f.flow_id[-3:] for f in r1.placed] != []  # ids differ but
+        assert len(r1.placed) == len(r2.placed)           # structure matches
+        assert r1.utilization == pytest.approx(r2.utilization)
+
+    def test_best_policy_balances_better(self, topo, provider):
+        net_r, loader_r = make_loader(topo, provider, seed=5)
+        loader_r.load_to_utilization(0.4)
+        topo2 = FatTreeTopology(k=4)
+        net_b = topo2.network()
+        trace = YahooLikeTrace(topo2.hosts(), seed=5)
+        loader_b = BackgroundLoader(net_b, PathProvider(topo2), trace,
+                                    random.Random(15), path_policy="best")
+        loader_b.load_to_utilization(0.4)
+        assert net_b.max_utilization() <= net_r.max_utilization() + 0.05
+
+
+class TestWouldFit:
+    def test_probe_does_not_place(self, topo, provider):
+        net, loader = make_loader(topo, provider)
+        trace = YahooLikeTrace(topo.hosts(), seed=99)
+        flow = trace.sample_flow()
+        assert loader.would_fit(flow)
+        assert net.flow_count() == 0

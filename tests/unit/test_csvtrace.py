@@ -1,0 +1,91 @@
+"""Unit tests for the CSV trace loader."""
+
+import pytest
+
+from repro.traces.csvtrace import CSVTrace
+
+HOSTS = [f"h{i}" for i in range(8)]
+
+
+def write_trace(tmp_path, content):
+    path = tmp_path / "trace.csv"
+    path.write_text(content)
+    return path
+
+
+GOOD = """src,dst,demand,duration
+h0,h1,25.0,12.5
+h2,h3,4.0,3.0
+10.1.2.3,10.4.5.6,9.0,
+"""
+
+
+class TestLoading:
+    def test_loads_records(self, tmp_path):
+        trace = CSVTrace(HOSTS, write_trace(tmp_path, GOOD))
+        assert len(trace) == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CSVTrace(HOSTS, tmp_path / "nope.csv")
+
+    def test_missing_columns(self, tmp_path):
+        path = write_trace(tmp_path, "src,dst\nh0,h1\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            CSVTrace(HOSTS, path)
+
+    def test_bad_demand(self, tmp_path):
+        path = write_trace(tmp_path, "src,dst,demand\nh0,h1,potato\n")
+        with pytest.raises(ValueError, match="bad demand"):
+            CSVTrace(HOSTS, path)
+
+    def test_nonpositive_demand(self, tmp_path):
+        path = write_trace(tmp_path, "src,dst,demand\nh0,h1,0\n")
+        with pytest.raises(ValueError, match="positive"):
+            CSVTrace(HOSTS, path)
+
+    def test_empty_trace(self, tmp_path):
+        path = write_trace(tmp_path, "src,dst,demand\n")
+        with pytest.raises(ValueError, match="no flow records"):
+            CSVTrace(HOSTS, path)
+
+    def test_bad_default_duration(self, tmp_path):
+        with pytest.raises(ValueError):
+            CSVTrace(HOSTS, write_trace(tmp_path, GOOD),
+                     default_duration=0.0)
+
+
+class TestSampling:
+    def test_known_hosts_used_verbatim(self, tmp_path):
+        trace = CSVTrace(HOSTS, write_trace(tmp_path, GOOD))
+        flow = trace.sample_flow()
+        assert (flow.src, flow.dst) == ("h0", "h1")
+        assert flow.demand == 25.0
+        assert flow.duration == 12.5
+
+    def test_unknown_hosts_hashed_onto_host_set(self, tmp_path):
+        trace = CSVTrace(HOSTS, write_trace(tmp_path, GOOD))
+        trace.sample_flow()
+        trace.sample_flow()
+        third = trace.sample_flow()  # the 10.x.x.x record
+        assert third.src in HOSTS and third.dst in HOSTS
+        assert third.src != third.dst
+        assert third.demand == 9.0
+        assert third.duration == 5.0  # default_duration fallback
+
+    def test_cycles_through_records(self, tmp_path):
+        trace = CSVTrace(HOSTS, write_trace(tmp_path, GOOD))
+        flows = [trace.sample_flow() for __ in range(6)]
+        assert flows[0].demand == flows[3].demand == 25.0
+
+    def test_size_column_derives_duration(self, tmp_path):
+        path = write_trace(tmp_path, "src,dst,demand,size\nh0,h1,10.0,50\n")
+        trace = CSVTrace(HOSTS, path)
+        flow = trace.sample_flow()
+        assert flow.duration == pytest.approx(5.0)
+
+    def test_deterministic_hashing(self, tmp_path):
+        path = write_trace(tmp_path, GOOD)
+        a = CSVTrace(HOSTS, path).flows(3)
+        b = CSVTrace(HOSTS, path).flows(3)
+        assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]

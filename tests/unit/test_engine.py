@@ -1,0 +1,106 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(3.0, lambda: order.append("c"))
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        engine = SimulationEngine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule_at(1.0, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_schedule_after(self):
+        engine = SimulationEngine(start_time=10.0)
+        seen = []
+        engine.schedule_after(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [12.5]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine(start_time=5.0)
+        with pytest.raises(SimulationError, match="clock"):
+            engine.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_callbacks_can_schedule_more(self):
+        engine = SimulationEngine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule_after(1.0, lambda: order.append("second"))
+
+        engine.schedule_at(0.0, first)
+        engine.run()
+        assert order == ["first", "second"]
+        assert engine.processed == 2
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = SimulationEngine()
+        seen = []
+        handle = engine.schedule_at(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        engine.run()
+        assert seen == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        engine = SimulationEngine()
+        h1 = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.pending == 2
+        h1.cancel()
+        assert engine.pending == 1
+
+
+class TestRun:
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_run_until(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(1.0, lambda: seen.append(1))
+        engine.schedule_at(5.0, lambda: seen.append(5))
+        engine.run(until=2.0)
+        assert seen == [1]
+        assert engine.pending == 1
+
+    def test_livelock_guard(self):
+        engine = SimulationEngine()
+
+        def respawn():
+            engine.schedule_after(0.1, respawn)
+
+        engine.schedule_at(0.0, respawn)
+        with pytest.raises(SimulationError, match="livelock"):
+            engine.run(max_events=100)

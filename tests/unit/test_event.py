@@ -1,0 +1,63 @@
+"""Unit tests for the update-event abstraction."""
+
+import pytest
+
+from repro.core.event import EventState, UpdateEvent, make_event, next_event_id
+from repro.core.flow import Flow, FlowKind
+
+
+def raw_flow(i: int, demand: float = 10.0, duration: float = 1.0) -> Flow:
+    return Flow(flow_id=f"ev-flow-{i}", src=f"h{i}", dst=f"g{i}",
+                demand=demand, duration=duration)
+
+
+class TestMakeEvent:
+    def test_stamps_event_id_and_kind(self):
+        event = make_event([raw_flow(1), raw_flow(2)])
+        for f in event.flows:
+            assert f.event_id == event.event_id
+            assert f.kind is FlowKind.UPDATE
+
+    def test_explicit_event_id(self):
+        event = make_event([raw_flow(1)], event_id="custom")
+        assert event.event_id == "custom"
+
+    def test_arrival_and_label(self):
+        event = make_event([raw_flow(1)], arrival_time=4.5, label="upgrade")
+        assert event.arrival_time == 4.5
+        assert event.label == "upgrade"
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(ValueError, match="at least one flow"):
+            make_event([])
+
+    def test_ids_unique(self):
+        ids = {next_event_id() for __ in range(50)}
+        assert len(ids) == 50
+
+
+class TestUpdateEventValidation:
+    def test_mismatched_flow_event_id_rejected(self):
+        flow = raw_flow(1)  # event_id is None
+        with pytest.raises(ValueError, match="make_event"):
+            UpdateEvent(event_id="U-x", flows=(flow,))
+
+
+class TestEventProperties:
+    def test_len_and_iter(self):
+        event = make_event([raw_flow(i) for i in range(3)])
+        assert len(event) == 3
+        assert len(list(event)) == 3
+
+    def test_total_demand(self):
+        event = make_event([raw_flow(1, demand=5.0), raw_flow(2, demand=7.0)])
+        assert event.total_demand == pytest.approx(12.0)
+
+    def test_max_service_time(self):
+        event = make_event([raw_flow(1, duration=1.0),
+                            raw_flow(2, duration=9.0)])
+        assert event.max_service_time == pytest.approx(9.0)
+
+    def test_initial_state_queued(self):
+        event = make_event([raw_flow(1)])
+        assert event.state is EventState.QUEUED

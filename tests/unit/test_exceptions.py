@@ -1,0 +1,51 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.exceptions import (
+    DuplicateFlowError,
+    InsufficientBandwidthError,
+    InvalidPathError,
+    PlanningError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    UnknownFlowError,
+)
+
+ALL_ERRORS = [
+    DuplicateFlowError,
+    InsufficientBandwidthError,
+    InvalidPathError,
+    PlanningError,
+    SimulationError,
+    TopologyError,
+    UnknownFlowError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_catching_base_catches_everything(self):
+        for error_type in ALL_ERRORS:
+            with pytest.raises(ReproError):
+                if error_type is InsufficientBandwidthError:
+                    raise error_type("x", bottleneck=("a", "b"),
+                                     deficit=1.0)
+                raise error_type("x")
+
+
+class TestInsufficientBandwidth:
+    def test_carries_bottleneck_and_deficit(self):
+        error = InsufficientBandwidthError("full", bottleneck=("u", "v"),
+                                           deficit=12.5)
+        assert error.bottleneck == ("u", "v")
+        assert error.deficit == 12.5
+
+    def test_defaults(self):
+        error = InsufficientBandwidthError("no path at all")
+        assert error.bottleneck is None
+        assert error.deficit == 0.0

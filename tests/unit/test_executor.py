@@ -1,0 +1,111 @@
+"""Unit tests for plan application and the executor's timing."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.event import make_event
+from repro.core.exceptions import InsufficientBandwidthError, PlanningError
+from repro.core.executor import PlanExecutor, apply_plan
+from repro.core.flow import Flow
+from repro.core.plan import EventPlan
+from repro.core.planner import EventPlanner
+from repro.network.routing.provider import PathProvider
+from repro.network.topology.custom import CustomTopology
+from repro.sim.timing import TimingModel
+
+
+def diamond_topology(capacity=100.0) -> CustomTopology:
+    g = nx.Graph()
+    for h in ("a", "b", "c", "d"):
+        g.add_node(h, kind="host")
+    for s in ("s1", "s2", "top", "bot"):
+        g.add_node(s, kind="switch")
+    for u, v in (("a", "s1"), ("c", "s1"), ("s1", "top"), ("s1", "bot"),
+                 ("top", "s2"), ("bot", "s2"), ("s2", "b"), ("s2", "d")):
+        g.add_edge(u, v, capacity=capacity)
+    return CustomTopology(g, name="diamond", max_paths=4)
+
+
+def update_flow(fid, demand, duration=1.0):
+    return Flow(flow_id=fid, src="a", dst="b", demand=demand,
+                duration=duration)
+
+
+@pytest.fixture()
+def planned():
+    """(network, plan-with-migration) pair computed on identical state."""
+    topo = diamond_topology()
+    net = topo.network()
+    net.place(Flow(flow_id="bgt", src="c", dst="d", demand=45.0),
+              ("c", "s1", "top", "s2", "d"))
+    net.place(Flow(flow_id="bgb", src="c", dst="d", demand=10.0),
+              ("c", "s1", "bot", "s2", "d"))
+    planner = EventPlanner(PathProvider(topo))
+    event = make_event([update_flow("f1", 60.0)])
+    plan = planner.plan_event(net, event, random.Random(1), commit=False)
+    assert plan.feasible and plan.cost > 0
+    return net, plan
+
+
+class TestApplyPlan:
+    def test_applies_migrations_and_placements(self, planned):
+        net, plan = planned
+        rerouted = apply_plan(net, plan)
+        assert rerouted  # the blocking background flow moved
+        for fp in plan.flow_plans:
+            assert net.has_flow(fp.flow.flow_id)
+            assert net.placement(fp.flow.flow_id).path == fp.path
+        net.check_invariants()
+
+    def test_infeasible_plan_rejected(self, planned):
+        net, plan = planned
+        bad = EventPlan(event=plan.event, flow_plans=(),
+                        blocked=plan.event.flows)
+        with pytest.raises(PlanningError):
+            apply_plan(net, bad)
+
+    def test_stale_plan_rolls_back(self, planned):
+        net, plan = planned
+        # Invalidate the plan: consume (almost) all the bandwidth the plan
+        # counted on along its chosen path.
+        path = plan.flow_plans[0].path
+        thief_demand = max(net.path_residual(path) - 5.0, 1.0)
+        net.place(Flow(flow_id="thief", src="a", dst="b",
+                       demand=thief_demand), path)
+        before_used = {link: net.used(*link) for link in net.links()}
+        with pytest.raises(InsufficientBandwidthError):
+            apply_plan(net, plan)
+        after_used = {link: net.used(*link) for link in net.links()}
+        assert before_used == pytest.approx(after_used)
+        assert not net.has_flow(plan.flow_plans[0].flow.flow_id)
+        net.check_invariants()
+
+
+class TestExecutor:
+    def test_execute_times_match_model(self, planned):
+        net, plan = planned
+        timing = TimingModel(rule_install_s=0.5, migration_rule_s=0.25,
+                             drain_s_per_mbps=0.1)
+        executor = PlanExecutor(timing)
+        record = executor.execute(net, plan, start_time=100.0)
+        expected_migration = sum(0.25 + 0.1 * m.migrated_traffic
+                                 for m in plan.migrations)
+        assert record.migration_time == pytest.approx(expected_migration)
+        assert record.install_time == pytest.approx(0.5)
+        assert record.finish_setup_time == pytest.approx(
+            100.0 + expected_migration + 0.5)
+        assert record.rerouted_flow_ids
+
+    def test_default_timing(self, planned):
+        net, plan = planned
+        record = PlanExecutor().execute(net, plan, start_time=0.0)
+        assert record.finish_setup_time > 0.0
+
+    def test_refuses_infeasible(self, planned):
+        net, plan = planned
+        bad = EventPlan(event=plan.event, flow_plans=(),
+                        blocked=plan.event.flows)
+        with pytest.raises(PlanningError):
+            PlanExecutor().execute(net, bad, 0.0)

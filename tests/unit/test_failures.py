@@ -1,0 +1,129 @@
+"""Unit tests for failure injection and repair events."""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import BG_TOP, ab_flow, cd_flow, diamond_setup  # noqa: E402
+
+from repro.core.exceptions import InsufficientBandwidthError, TopologyError
+from repro.core.planner import EventPlanner
+from repro.network.failures import FailureInjector, repair_event
+
+
+@pytest.fixture()
+def setup():
+    net, provider = diamond_setup()
+    net.place(ab_flow("via_top", 30.0), ("a", "s1", "top", "s2", "b"))
+    net.place(cd_flow("bg", 20.0), BG_TOP)
+    return net, provider
+
+
+class TestFailLink:
+    def test_strands_crossing_flows(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        record = injector.fail_link("s1", "top")
+        stranded = {f.flow_id for f in record.stranded}
+        assert stranded == {"via_top", "bg"}
+        assert not net.has_flow("via_top")
+        net.check_invariants()
+
+    def test_failed_link_unusable(self, setup):
+        net, __ = setup
+        FailureInjector(net).fail_link("s1", "top")
+        assert net.capacity("s1", "top") == 0.0
+        with pytest.raises(InsufficientBandwidthError):
+            net.place(ab_flow("retry", 1.0), ("a", "s1", "top", "s2", "b"))
+
+    def test_unknown_link_rejected(self, setup):
+        net, __ = setup
+        with pytest.raises(TopologyError):
+            FailureInjector(net).fail_link("a", "b")
+
+    def test_single_direction(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        record = injector.fail_link("s1", "top", both_directions=False)
+        assert record.failed_links == (("s1", "top"),)
+        assert net.capacity("top", "s1") > 0
+
+
+class TestFailSwitch:
+    def test_fails_all_adjacent_links(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        record = injector.fail_switch("top")
+        assert net.capacity("s1", "top") == 0.0
+        assert net.capacity("top", "s2") == 0.0
+        assert {f.flow_id for f in record.stranded} == {"via_top", "bg"}
+
+    def test_unknown_switch_rejected(self, setup):
+        net, __ = setup
+        with pytest.raises(TopologyError):
+            FailureInjector(net).fail_switch("ghost")
+
+
+class TestHeal:
+    def test_heal_restores_capacity(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        record = injector.fail_link("s1", "top")
+        injector.heal(record)
+        assert net.capacity("s1", "top") == 100.0
+        assert injector.active_failures == []
+
+    def test_heal_unknown_rejected(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        record = injector.fail_link("s1", "top")
+        injector.heal(record)
+        with pytest.raises(ValueError):
+            injector.heal(record)
+
+    def test_heal_all(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        injector.fail_link("s1", "top")
+        injector.fail_link("s2", "b")
+        injector.heal_all()
+        assert injector.active_failures == []
+        assert net.capacity("s2", "b") == 100.0
+
+
+class TestRepairEvent:
+    def test_repair_reroutes_around_failure(self, setup):
+        net, provider = setup
+        injector = FailureInjector(net)
+        record = injector.fail_switch("top")
+        event = repair_event(record)
+        assert len(event) == 2
+        assert "repair" in event.label
+
+        planner = EventPlanner(provider)
+        plan = planner.plan_event(net, event, random.Random(1), commit=True)
+        assert plan.feasible
+        for flow_plan in plan.flow_plans:
+            assert "top" not in flow_plan.path  # capacity 0 blocks it
+        net.check_invariants()
+
+    def test_empty_repair_rejected(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        # bot carries nothing, so failing it strands no flows
+        record = injector.fail_link("s1", "bot")
+        with pytest.raises(ValueError, match="nothing to repair"):
+            repair_event(record)
+
+    def test_repair_flows_preserve_demand(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        record = injector.fail_switch("top")
+        event = repair_event(record)
+        demands = sorted(f.demand for f in event.flows)
+        assert demands == [20.0, 30.0]
+        originals = {f.flow_id for f in record.stranded}
+        assert all(f.flow_id not in originals for f in event.flows)

@@ -1,0 +1,113 @@
+"""Unit tests for the Fat-Tree topology."""
+
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.network.link import path_links
+from repro.network.topology.fattree import FatTreeTopology
+
+
+class TestConstruction:
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError, match="even"):
+            FatTreeTopology(k=3)
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(k=0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(k=4, link_capacity=0.0)
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_paper_counts(self, k):
+        """5k^2/4 switches and k^3/4 hosts (paper §V-A)."""
+        topo = FatTreeTopology(k=k)
+        assert topo.num_switches == 5 * k * k // 4
+        assert topo.num_hosts == k ** 3 // 4
+        assert len(topo.hosts()) == topo.num_hosts
+        assert len(topo.switches()) == topo.num_switches
+
+    def test_k8_matches_paper(self):
+        topo = FatTreeTopology(k=8)
+        assert topo.num_switches == 80
+        assert topo.num_hosts == 128
+
+    def test_links_are_duplex_with_capacity(self):
+        topo = FatTreeTopology(k=4, link_capacity=1000.0)
+        g = topo.graph()
+        for u, v, data in g.edges(data=True):
+            assert g.has_edge(v, u)
+            assert data["capacity"] == 1000.0
+
+    def test_graph_is_cached(self):
+        topo = FatTreeTopology(k=4)
+        assert topo.graph() is topo.graph()
+
+
+class TestNaming:
+    def test_locate_host_roundtrip(self):
+        topo = FatTreeTopology(k=4)
+        assert topo.locate_host(topo.host_name(2, 1, 0)) == (2, 1, 0)
+
+    def test_locate_rejects_garbage(self):
+        topo = FatTreeTopology(k=4)
+        for bad in ("x1_2_3", "h1_2", "h9_0_0", "e0_1", "h1_5_0"):
+            with pytest.raises(TopologyError):
+                topo.locate_host(bad)
+
+
+class TestPaths:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return FatTreeTopology(k=4)
+
+    def test_same_edge_single_path(self, topo):
+        paths = topo.equal_cost_paths("h0_0_0", "h0_0_1")
+        assert len(paths) == 1
+        assert paths[0] == ("h0_0_0", "e0_0", "h0_0_1")
+
+    def test_same_pod_k_half_paths(self, topo):
+        paths = topo.equal_cost_paths("h0_0_0", "h0_1_0")
+        assert len(paths) == 2  # k/2
+        for path in paths:
+            assert len(path) == 5
+            assert path[0] == "h0_0_0" and path[-1] == "h0_1_0"
+
+    def test_inter_pod_k_half_squared_paths(self, topo):
+        paths = topo.equal_cost_paths("h0_0_0", "h3_1_1")
+        assert len(paths) == 4  # (k/2)^2
+        cores = {path[3] for path in paths}
+        assert len(cores) == 4  # each path uses a distinct core
+        for path in paths:
+            assert len(path) == 7
+
+    def test_k8_inter_pod_path_count(self):
+        topo = FatTreeTopology(k=8)
+        paths = topo.equal_cost_paths("h0_0_0", "h7_3_3")
+        assert len(paths) == 16
+
+    def test_paths_exist_in_graph(self, topo):
+        g = topo.graph()
+        for dst in ("h0_0_1", "h0_1_0", "h2_0_0"):
+            for path in topo.equal_cost_paths("h0_0_0", dst):
+                for u, v in path_links(path):
+                    assert g.has_edge(u, v), f"missing {u}->{v}"
+
+    def test_paths_are_simple(self, topo):
+        for path in topo.equal_cost_paths("h0_0_0", "h1_0_0"):
+            assert len(set(path)) == len(path)
+
+    def test_same_host_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.equal_cost_paths("h0_0_0", "h0_0_0")
+
+    def test_non_host_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.equal_cost_paths("e0_0", "h0_0_0")
+
+    def test_network_builder(self, topo):
+        net = topo.network()
+        assert net.capacity("h0_0_0", "e0_0") == 1000.0
+        assert len(net.hosts()) == topo.num_hosts

@@ -1,0 +1,46 @@
+"""Unit tests for link-level helpers."""
+
+from repro.network.link import (
+    EPS,
+    format_link,
+    format_path,
+    is_simple_path,
+    path_links,
+)
+
+
+class TestPathLinks:
+    def test_pairs_in_order(self):
+        assert path_links(("a", "b", "c")) == (("a", "b"), ("b", "c"))
+
+    def test_two_node_path(self):
+        assert path_links(("a", "b")) == (("a", "b"),)
+
+    def test_single_node_is_empty(self):
+        assert path_links(("a",)) == ()
+
+
+class TestIsSimplePath:
+    def test_simple(self):
+        assert is_simple_path(("a", "b", "c"))
+
+    def test_repeat_rejected(self):
+        assert not is_simple_path(("a", "b", "a"))
+
+    def test_too_short_rejected(self):
+        assert not is_simple_path(("a",))
+        assert not is_simple_path(())
+
+
+class TestFormatting:
+    def test_format_link(self):
+        assert format_link(("e0", "a0")) == "e0->a0"
+
+    def test_format_path(self):
+        assert format_path(("a", "b", "c")) == "a -> b -> c"
+
+
+class TestEps:
+    def test_eps_smaller_than_any_real_demand(self):
+        assert EPS < 0.5  # the smallest demand any generator produces
+        assert EPS > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the oracle SJF scheduler baselines."""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import ab_flow, cd_flow, diamond_setup  # noqa: E402
+
+from repro.core.event import make_event
+from repro.core.planner import EventPlanner
+from repro.sched.base import QueuedEvent, SchedulingContext
+from repro.sched.oracle import OracleSJFScheduler, event_signal
+
+
+def make_context(network, provider, events):
+    queue = [QueuedEvent(event, seq=i) for i, event in enumerate(events)]
+    return SchedulingContext(now=0.0, queue=queue,
+                             planner=EventPlanner(provider),
+                             network=network, rng=random.Random(7))
+
+
+class TestEventSignal:
+    def test_width(self):
+        event = make_event([ab_flow("w1", 5.0), ab_flow("w2", 5.0)])
+        assert event_signal(event, "width") == 2.0
+
+    def test_duration(self):
+        event = make_event([ab_flow("d1", 5.0, duration=3.0),
+                            ab_flow("d2", 5.0, duration=9.0)])
+        assert event_signal(event, "duration") == 9.0
+
+    def test_demand(self):
+        event = make_event([ab_flow("m1", 5.0), ab_flow("m2", 7.0)])
+        assert event_signal(event, "demand") == 12.0
+
+
+class TestOracle:
+    def test_signal_validation(self):
+        with pytest.raises(ValueError):
+            OracleSJFScheduler(signal="vibes")
+
+    def test_name_includes_signal(self):
+        assert OracleSJFScheduler(signal="width").name == "oracle-sjf-width"
+
+    def test_picks_smallest_by_duration(self):
+        net, provider = diamond_setup()
+        slow = make_event([ab_flow("slow", 5.0, duration=60.0)],
+                          label="slow")
+        fast = make_event([cd_flow("fast", 5.0, duration=1.0)],
+                          label="fast")
+        ctx = make_context(net, provider, [slow, fast])
+        decision = OracleSJFScheduler(signal="duration").select(ctx)
+        assert decision.admissions[0].queued.event.label == "fast"
+
+    def test_picks_smallest_by_width(self):
+        net, provider = diamond_setup()
+        wide = make_event([ab_flow(f"w{i}", 2.0) for i in range(4)],
+                          label="wide")
+        narrow = make_event([cd_flow("n", 2.0, duration=1.0)],
+                            label="narrow")
+        ctx = make_context(net, provider, [wide, narrow])
+        decision = OracleSJFScheduler(signal="width").select(ctx)
+        assert decision.admissions[0].queued.event.label == "narrow"
+
+    def test_falls_back_when_smallest_blocked(self):
+        net, provider = diamond_setup()
+        net.place(cd_flow("hog", 95.0, duration=None),
+                  ("c", "s1", "top", "s2", "d"))
+        net.place(ab_flow("hog2", 95.0, duration=None)
+                  .replace(duration=None),
+                  ("a", "s1", "bot", "s2", "b"))
+        # the small event (c->d, 60 Mbps) cannot fit anywhere: c's uplink
+        # has 95 used; the bigger a->b event fits on top path? a's uplink
+        # has 95 used too -> also blocked. Use a feasible bigger event.
+        small_blocked = make_event([cd_flow("sb", 60.0, 1.0)],
+                                   label="small")
+        big_ok = make_event([ab_flow("ok", 4.0, duration=10.0)],
+                            label="big")
+        ctx = make_context(net, provider, [small_blocked, big_ok])
+        decision = OracleSJFScheduler(signal="demand").select(ctx)
+        assert decision.admissions[0].queued.event.label == "big"
+
+    def test_empty_queue(self):
+        net, provider = diamond_setup()
+        assert OracleSJFScheduler().select(
+            make_context(net, provider, [])).empty

@@ -1,0 +1,145 @@
+"""Unit tests for greedy safe ordering of update steps."""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import BG_BOT, BG_TOP, ab_flow, cd_flow, diamond_setup, ef_flow  # noqa: E402
+
+from repro.core.event import make_event
+from repro.core.flow import Flow
+from repro.core.ordering import (
+    OrderingResult,
+    Step,
+    StepKind,
+    find_safe_order,
+    plan_steps,
+    reorder_plan,
+)
+from repro.core.plan import FlowPlan, Migration
+from repro.core.planner import EventPlanner
+
+
+def place_step(flow, path):
+    return Step(kind=StepKind.PLACE, flow_id=flow.flow_id,
+                path=tuple(path), demand=flow.demand,
+                payload=FlowPlan(flow=flow, path=tuple(path)))
+
+
+def migrate_step(flow, old_path, new_path):
+    migration = Migration(flow=flow, old_path=tuple(old_path),
+                          new_path=tuple(new_path))
+    return Step(kind=StepKind.MIGRATE, flow_id=flow.flow_id,
+                path=tuple(new_path), demand=flow.demand,
+                payload=migration)
+
+
+class TestPlanSteps:
+    def test_decomposition_preserves_order(self):
+        net, provider = diamond_setup()
+        net.place(cd_flow("bgt", 45.0), BG_TOP)
+        net.place(ef_flow("bgb", 45.0), ("e", "s1", "bot", "s2", "f"))
+        planner = EventPlanner(provider)
+        plan = planner.plan_event(net, make_event([ab_flow("f1", 60.0)]),
+                                  random.Random(1))
+        steps = plan_steps(plan)
+        assert steps[-1].kind is StepKind.PLACE
+        assert any(s.kind is StepKind.MIGRATE for s in steps)
+
+
+class TestFindSafeOrder:
+    def test_already_ordered_steps_pass(self):
+        net, __ = diamond_setup()
+        steps = [place_step(ab_flow("f1", 10.0),
+                            ("a", "s1", "top", "s2", "b"))]
+        result = find_safe_order(net, steps)
+        assert result.complete
+        assert len(result.order) == 1
+        assert not net.has_flow("f1")  # probe only
+
+    def test_apply_commits_complete_order(self):
+        net, __ = diamond_setup()
+        steps = [place_step(ab_flow("f1", 10.0),
+                            ("a", "s1", "top", "s2", "b"))]
+        result = find_safe_order(net, steps, apply=True)
+        assert result.complete
+        assert net.has_flow("f1")
+        net.check_invariants()
+
+    def test_reorders_out_of_order_steps(self):
+        """The placement is listed first but only fits after the migration
+        frees the link — greedy must discover migration-then-place."""
+        net, __ = diamond_setup()
+        bg = cd_flow("bg", 60.0)
+        net.place(bg, BG_TOP)
+        new_flow = ab_flow("new", 70.0)
+        steps = [
+            place_step(new_flow, ("a", "s1", "top", "s2", "b")),
+            migrate_step(bg, BG_TOP, BG_BOT),
+        ]
+        result = find_safe_order(net, steps, apply=True)
+        assert result.complete
+        assert [s.flow_id for s in result.order] == ["bg", "new"]
+        assert net.placement("bg").path == BG_BOT
+        net.check_invariants()
+
+    def test_swap_deadlock_reported(self):
+        """Two flows that must swap links cannot be ordered sequentially
+        (real Dionysus would split them)."""
+        net, __ = diamond_setup()
+        f_top = cd_flow("swap_top", 60.0)
+        f_bot = ef_flow("swap_bot", 60.0)
+        net.place(f_top, BG_TOP)
+        net.place(f_bot, ("e", "s1", "bot", "s2", "f"))
+        steps = [
+            migrate_step(f_top, BG_TOP, BG_BOT),
+            migrate_step(f_bot, ("e", "s1", "bot", "s2", "f"),
+                         ("e", "s1", "top", "s2", "f")),
+        ]
+        result = find_safe_order(net, steps)
+        assert not result.complete
+        assert len(result.stuck) == 2
+        # nothing committed on failure
+        assert net.placement("swap_top").path == BG_TOP
+
+    def test_partial_order_not_applied(self):
+        net, __ = diamond_setup()
+        ok = place_step(ab_flow("ok", 10.0),
+                        ("a", "s1", "top", "s2", "b"))
+        impossible = place_step(ab_flow("nope", 200.0),
+                                ("a", "s1", "bot", "s2", "b"))
+        result = find_safe_order(net, [ok, impossible], apply=True)
+        assert not result.complete
+        assert len(result.order) == 1
+        assert not net.has_flow("ok")  # partial orders never commit
+
+    def test_migration_of_absent_flow_is_stuck(self):
+        net, __ = diamond_setup()
+        ghost = cd_flow("ghost", 10.0)
+        steps = [migrate_step(ghost, BG_TOP, BG_BOT)]
+        result = find_safe_order(net, steps)
+        assert not result.complete
+
+
+class TestReorderPlan:
+    def test_recovers_stale_plan(self):
+        """Plan computed on one state, applied after drift: the built-in
+        order may break, but a reorder still works when feasible."""
+        net, provider = diamond_setup()
+        net.place(cd_flow("bgt", 45.0), BG_TOP)
+        planner = EventPlanner(provider)
+        plan = planner.plan_event(net, make_event([ab_flow("f1", 60.0)]),
+                                  random.Random(1))
+        assert plan.feasible
+        result = reorder_plan(net, plan, apply=True)
+        assert result.complete
+        assert net.has_flow(plan.flow_plans[0].flow.flow_id)
+        net.check_invariants()
+
+    def test_describe(self):
+        step = place_step(ab_flow("fx", 12.0),
+                          ("a", "s1", "top", "s2", "b"))
+        assert "place fx" in step.describe()

@@ -1,0 +1,78 @@
+"""Unit tests for the plan value objects."""
+
+import pytest
+
+from repro.core.event import make_event
+from repro.core.flow import Flow
+from repro.core.plan import EventPlan, ExecutionRecord, FlowPlan, Migration
+
+
+def flow(fid, demand=10.0):
+    return Flow(flow_id=fid, src="a", dst="b", demand=demand, duration=1.0)
+
+
+def migration(fid, demand):
+    return Migration(flow=Flow(flow_id=fid, src="c", dst="d",
+                               demand=demand),
+                     old_path=("c", "x", "d"), new_path=("c", "y", "d"))
+
+
+class TestMigration:
+    def test_migrated_traffic_is_demand(self):
+        assert migration("m1", 25.0).migrated_traffic == 25.0
+
+
+class TestFlowPlan:
+    def test_cost_sums_migrations(self):
+        plan = FlowPlan(flow=flow("f1"), path=("a", "x", "b"),
+                        migrations=(migration("m1", 5.0),
+                                    migration("m2", 7.0)))
+        assert plan.cost == pytest.approx(12.0)
+
+    def test_migration_free_cost_zero(self):
+        plan = FlowPlan(flow=flow("f1"), path=("a", "x", "b"))
+        assert plan.cost == 0.0
+
+
+class TestEventPlan:
+    def _plan(self, blocked=False):
+        event = make_event([flow("f1"), flow("f2")])
+        fp1 = FlowPlan(flow=event.flows[0], path=("a", "x", "b"),
+                       migrations=(migration("m1", 5.0),))
+        fp2 = FlowPlan(flow=event.flows[1], path=("a", "y", "b"),
+                       migrations=(migration("m2", 3.0),
+                                   migration("m3", 4.0)))
+        blocked_flows = (flow("fb"),) if blocked else ()
+        return EventPlan(event=event, flow_plans=(fp1, fp2),
+                         blocked=blocked_flows, planning_ops=42)
+
+    def test_cost_is_definition_two(self):
+        # Cost(U) = sum over flows of sum(F_a)
+        assert self._plan().cost == pytest.approx(12.0)
+
+    def test_migrations_flattened_in_order(self):
+        migrations = self._plan().migrations
+        assert [m.flow.flow_id for m in migrations] == ["m1", "m2", "m3"]
+        assert self._plan().migration_count == 3
+
+    def test_feasible_iff_no_blocked(self):
+        assert self._plan().feasible
+        assert not self._plan(blocked=True).feasible
+
+    def test_planning_ops_carried(self):
+        assert self._plan().planning_ops == 42
+
+    def test_empty_plan(self):
+        event = make_event([flow("f9")])
+        plan = EventPlan(event=event)
+        assert plan.cost == 0.0
+        assert plan.feasible
+        assert plan.migrations == ()
+
+
+class TestExecutionRecord:
+    def test_defaults(self):
+        event = make_event([flow("f1")])
+        record = ExecutionRecord(plan=EventPlan(event=event))
+        assert record.migration_time == 0.0
+        assert record.rerouted_flow_ids == ()

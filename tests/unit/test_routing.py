@@ -1,0 +1,111 @@
+"""Unit tests for routing utilities and the PathProvider cache."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.network.routing.paths import (
+    k_shortest_paths,
+    path_hops,
+    paths_avoiding,
+    paths_through,
+)
+from repro.network.routing.provider import PathProvider
+from repro.network.topology.fattree import FatTreeTopology
+
+
+class TestKShortestPaths:
+    @pytest.fixture(scope="class")
+    def g(self):
+        graph = nx.DiGraph()
+        graph.add_edges_from([("a", "m1"), ("m1", "b"),
+                              ("a", "m2"), ("m2", "b"),
+                              ("a", "x"), ("x", "y"), ("y", "b")])
+        return graph
+
+    def test_returns_shortest_first(self, g):
+        paths = k_shortest_paths(g, "a", "b", k=3)
+        assert len(paths) == 3
+        assert path_hops(paths[0]) <= path_hops(paths[-1])
+
+    def test_k_limits_result(self, g):
+        assert len(k_shortest_paths(g, "a", "b", k=2)) == 2
+
+    def test_no_path_returns_empty(self, g):
+        g2 = g.copy()
+        g2.add_node("island")
+        assert k_shortest_paths(g2, "a", "island") == []
+
+    def test_unknown_node_returns_empty(self, g):
+        assert k_shortest_paths(g, "a", "ghost") == []
+
+    def test_nonpositive_k(self, g):
+        assert k_shortest_paths(g, "a", "b", k=0) == []
+
+
+class TestPathFilters:
+    PATHS = [("a", "m1", "b"), ("a", "m2", "b")]
+
+    def test_paths_avoiding(self):
+        kept = paths_avoiding(self.PATHS, ("a", "m1"))
+        assert kept == [("a", "m2", "b")]
+
+    def test_paths_through(self):
+        kept = paths_through(self.PATHS, ("m2", "b"))
+        assert kept == [("a", "m2", "b")]
+
+    def test_path_hops(self):
+        assert path_hops(("a", "b", "c")) == 2
+        assert path_hops(("a",)) == 0
+
+
+class TestPathProvider:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return FatTreeTopology(k=4)
+
+    def test_caches_results(self, topo):
+        provider = PathProvider(topo)
+        first = provider.paths("h0_0_0", "h1_0_0")
+        second = provider.paths("h0_0_0", "h1_0_0")
+        assert first is second
+        assert provider.cache_size() == 1
+
+    def test_max_paths_cap(self, topo):
+        provider = PathProvider(topo, max_paths=2)
+        assert len(provider.paths("h0_0_0", "h1_0_0")) == 2
+
+    def test_max_paths_validation(self, topo):
+        with pytest.raises(ValueError):
+            PathProvider(topo, max_paths=0)
+
+    def test_banned_nodes_filtered(self, topo):
+        provider = PathProvider(topo, banned_nodes={"a0_0"})
+        for path in provider.paths("h0_0_0", "h1_0_0"):
+            assert "a0_0" not in path
+
+    def test_banned_everything_raises(self, topo):
+        provider = PathProvider(topo, banned_nodes={"e0_0"})
+        with pytest.raises(TopologyError, match="no path"):
+            provider.paths("h0_0_0", "h1_0_0")
+
+    def test_shuffled_paths_preserve_cache_order(self, topo):
+        provider = PathProvider(topo)
+        original = provider.paths("h0_0_0", "h1_0_0")
+        snapshot = tuple(original)
+        provider.shuffled_paths("h0_0_0", "h1_0_0", random.Random(3))
+        assert provider.paths("h0_0_0", "h1_0_0") == snapshot
+
+    def test_shuffled_paths_same_set(self, topo):
+        provider = PathProvider(topo)
+        shuffled = provider.shuffled_paths("h0_0_0", "h1_0_0",
+                                           random.Random(3))
+        assert sorted(shuffled) == sorted(provider.paths("h0_0_0",
+                                                         "h1_0_0"))
+
+    def test_warm(self, topo):
+        provider = PathProvider(topo)
+        provider.warm([("h0_0_0", "h1_0_0"), ("h0_0_0", "h2_0_0")])
+        assert provider.cache_size() == 2

@@ -1,0 +1,69 @@
+"""Unit tests for the experiment Scenario scaffolding."""
+
+import pytest
+
+from repro.experiments.common import (
+    DEFAULTS,
+    Scenario,
+    reduction,
+    run_schedulers,
+)
+from repro.sched.fifo import FIFOScheduler
+from repro.traces.events import EventGeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    # k=8 is the experiment default; tests use light parameters on top of
+    # the session-cached background to stay fast.
+    return Scenario(utilization=0.3, seed=1, events=3, churn=False,
+                    event_config=EventGeneratorConfig(min_flows=3,
+                                                      max_flows=5))
+
+
+class TestScenario:
+    def test_defaults_frozen(self):
+        assert DEFAULTS.k == 8
+        assert DEFAULTS.alpha == 4
+
+    def test_topology_cached(self, small_scenario):
+        assert small_scenario.topology is small_scenario.topology
+        assert small_scenario.provider is small_scenario.provider
+
+    def test_loaded_network_returns_fresh_copies(self, small_scenario):
+        first = small_scenario.loaded_network()
+        second = small_scenario.loaded_network()
+        assert first is not second
+        assert first.total_used() == pytest.approx(second.total_used())
+
+    def test_achieved_utilization_reported(self, small_scenario):
+        assert small_scenario.achieved_utilization >= 0.3
+
+    def test_event_generation_deterministic(self, small_scenario):
+        a = small_scenario.generate_events()
+        b = small_scenario.generate_events()
+        assert [len(e) for e in a] == [len(e) for e in b]
+        assert [f.demand for e in a for f in e.flows] == \
+            [f.demand for e in b for f in e.flows]
+
+    def test_timing_uses_defaults(self, small_scenario):
+        timing = small_scenario.timing()
+        assert timing.drain_s_per_mbps == DEFAULTS.drain_s_per_mbps
+
+    def test_with_returns_modified_copy(self, small_scenario):
+        changed = small_scenario.with_(events=7)
+        assert changed.events == 7
+        assert small_scenario.events == 3
+
+
+class TestRunSchedulers:
+    def test_runs_same_queue_for_each(self, small_scenario):
+        results = run_schedulers(small_scenario, [FIFOScheduler()])
+        assert set(results) == {"fifo"}
+        assert results["fifo"].event_count == 3
+
+
+class TestReduction:
+    def test_reduction_math(self):
+        assert reduction(100.0, 40.0) == pytest.approx(60.0)
+        assert reduction(0.0, 40.0) == 0.0

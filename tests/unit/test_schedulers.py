@@ -1,0 +1,223 @@
+"""Unit tests for the scheduling policies on crafted queue states."""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import (  # noqa: E402
+    BG_TOP,
+    EF_BOT,
+    ab_flow,
+    cd_flow,
+    diamond_setup,
+    ef_flow,
+)
+
+from repro.core.event import make_event
+from repro.core.planner import EventPlanner
+from repro.sched.base import QueuedEvent, SchedulingContext
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.flowlevel import FlowLevelScheduler
+from repro.sched.lmtf import LMTFScheduler
+from repro.sched.plmtf import PLMTFScheduler
+from repro.sched.reorder import CostReorderScheduler
+
+
+def make_context(network, provider, events):
+    queue = [QueuedEvent(event, seq=i) for i, event in enumerate(events)]
+    return SchedulingContext(now=0.0, queue=queue,
+                             planner=EventPlanner(provider),
+                             network=network, rng=random.Random(7))
+
+
+def cheap_event(label: str, demand: float = 5.0):
+    return make_event([ab_flow(f"{label}-f", demand)], label=label)
+
+
+class TestFIFO:
+    def test_admits_head(self):
+        net, provider = diamond_setup()
+        ctx = make_context(net, provider,
+                           [cheap_event("e0"), cheap_event("e1")])
+        decision = FIFOScheduler().select(ctx)
+        assert len(decision.admissions) == 1
+        assert decision.admissions[0].queued.event.label == "e0"
+        assert decision.planning_ops > 0
+
+    def test_waits_when_head_blocked(self):
+        net, provider = diamond_setup()
+        # saturate both middle links with unmigratable a->b traffic
+        net.place(ab_flow("hog", 95.0), ("a", "s1", "top", "s2", "b"))
+        blocked = make_event([ab_flow("big", 50.0)], label="blocked")
+        ctx = make_context(net, provider, [blocked, cheap_event("e1", 2.0)])
+        decision = FIFOScheduler().select(ctx)
+        # strict FIFO never jumps the queue, even with a feasible e1 behind
+        assert decision.empty
+
+    def test_empty_queue(self):
+        net, provider = diamond_setup()
+        assert FIFOScheduler().select(
+            make_context(net, provider, [])).empty
+
+
+class TestLMTF:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            LMTFScheduler(alpha=0)
+
+    def test_candidates_include_head_and_respect_queue_size(self):
+        net, provider = diamond_setup()
+        events = [cheap_event(f"e{i}") for i in range(3)]
+        ctx = make_context(net, provider, events)
+        scheduler = LMTFScheduler(alpha=10)
+        candidates = scheduler.sample_candidates(ctx.queue)
+        assert len(candidates) == 3  # queue smaller than alpha+1
+        assert candidates[0].seq == 0
+
+    def test_candidates_sorted_by_seq(self):
+        net, provider = diamond_setup()
+        events = [cheap_event(f"e{i}") for i in range(10)]
+        ctx = make_context(net, provider, events)
+        candidates = LMTFScheduler(alpha=4).sample_candidates(ctx.queue)
+        seqs = [c.seq for c in candidates]
+        assert seqs == sorted(seqs)
+        assert seqs[0] == 0
+
+    def test_picks_cheapest_event(self):
+        net, provider = diamond_setup()
+        # congest the middle so a big head event needs migration
+        net.place(cd_flow("bg", 60.0), BG_TOP)
+        net.place(ef_flow("bg2", 60.0), EF_BOT)
+        heavy = make_event([ab_flow("heavy", 80.0)], label="heavy")
+        light = make_event([ab_flow("light", 10.0)], label="light")
+        ctx = make_context(net, provider, [heavy, light])
+        decision = LMTFScheduler(alpha=4).select(ctx)
+        assert len(decision.admissions) == 1
+        assert decision.admissions[0].queued.event.label == "light"
+
+    def test_ties_preserve_fifo_order(self):
+        net, provider = diamond_setup()
+        events = [cheap_event(f"e{i}") for i in range(5)]
+        ctx = make_context(net, provider, events)
+        decision = LMTFScheduler(alpha=4).select(ctx)
+        # all costs zero -> earliest seq wins
+        assert decision.admissions[0].queued.seq == 0
+
+    def test_reset_restores_sampling_sequence(self):
+        net, provider = diamond_setup()
+        events = [cheap_event(f"e{i}") for i in range(10)]
+        scheduler = LMTFScheduler(alpha=2, seed=3)
+        ctx = make_context(net, provider, events)
+        first = [q.seq for q in scheduler.sample_candidates(ctx.queue)]
+        scheduler.reset()
+        second = [q.seq for q in scheduler.sample_candidates(ctx.queue)]
+        assert first == second
+
+
+class TestPLMTF:
+    def test_admit_mode_validation(self):
+        with pytest.raises(ValueError):
+            PLMTFScheduler(admit="everything")
+
+    def test_admits_compatible_candidates(self):
+        net, provider = diamond_setup()
+        events = [cheap_event(f"e{i}", demand=5.0) for i in range(5)]
+        ctx = make_context(net, provider, events)
+        decision = PLMTFScheduler(alpha=4).select(ctx)
+        # five tiny events easily run together
+        assert len(decision.admissions) == 5
+
+    def test_batch_never_oversubscribes(self):
+        net, provider = diamond_setup()
+        # each event wants 60 Mbit/s from a's uplink: only one fits
+        events = [make_event([ab_flow(f"f{i}", 60.0)], label=f"e{i}")
+                  for i in range(4)]
+        ctx = make_context(net, provider, events)
+        decision = PLMTFScheduler(alpha=4).select(ctx)
+        assert len(decision.admissions) == 1
+
+    def test_admissions_replay_cleanly_in_order(self):
+        net, provider = diamond_setup()
+        net.place(cd_flow("bg", 50.0), BG_TOP)
+        events = [make_event([ab_flow(f"f{i}", 25.0)], label=f"e{i}")
+                  for i in range(5)]
+        ctx = make_context(net, provider, events)
+        decision = PLMTFScheduler(alpha=4).select(ctx)
+        from repro.core.executor import apply_plan
+        for admission in decision.admissions:
+            apply_plan(net, admission.plan)  # must not raise
+        net.check_invariants()
+
+    @pytest.mark.parametrize("mode", ["shared", "nocontention", "hybrid",
+                                      "free", "feasible"])
+    def test_all_modes_admit_head_at_least(self, mode):
+        net, provider = diamond_setup()
+        events = [cheap_event(f"e{i}") for i in range(3)]
+        ctx = make_context(net, provider, events)
+        decision = PLMTFScheduler(alpha=2, admit=mode).select(ctx)
+        assert len(decision.admissions) >= 1
+
+
+class TestCostReorder:
+    def test_scans_whole_queue(self):
+        net, provider = diamond_setup()
+        net.place(cd_flow("bg", 60.0), BG_TOP)
+        net.place(ef_flow("bg2", 60.0), EF_BOT)
+        heavy = make_event([ab_flow("heavy", 80.0)], label="heavy")
+        light = make_event([ab_flow("light", 10.0)], label="light")
+        ctx = make_context(net, provider, [heavy, light])
+        decision = CostReorderScheduler().select(ctx)
+        assert decision.admissions[0].queued.event.label == "light"
+        # planning ops cover every queued event
+        fifo_ops = FIFOScheduler().select(
+            make_context(net, provider, [heavy])).planning_ops
+        assert decision.planning_ops > fifo_ops
+
+
+class TestFlowLevel:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            FlowLevelScheduler(order="zigzag")
+
+    def test_admits_single_flow(self):
+        net, provider = diamond_setup()
+        event = make_event([ab_flow("f1", 5.0), ab_flow("f2", 5.0)])
+        ctx = make_context(net, provider, [event])
+        decision = FlowLevelScheduler().select(ctx)
+        assert len(decision.admissions) == 1
+        assert len(decision.admissions[0].plan.flow_plans) == 1
+
+    def test_round_robin_rotates(self):
+        net, provider = diamond_setup()
+        events = [make_event([ab_flow(f"e{i}f{j}", 1.0) for j in range(2)],
+                             label=f"e{i}") for i in range(3)]
+        scheduler = FlowLevelScheduler(order="interleave")
+        served = []
+        ctx = make_context(net, provider, events)
+        for __ in range(3):
+            decision = scheduler.select(ctx)
+            served.append(decision.admissions[0].queued.event.label)
+        assert served == ["e0", "e1", "e2"]
+
+    def test_arrival_order_serves_head_first(self):
+        net, provider = diamond_setup()
+        events = [make_event([ab_flow(f"e{i}f{j}", 1.0) for j in range(2)],
+                             label=f"e{i}") for i in range(2)]
+        scheduler = FlowLevelScheduler(order="arrival")
+        ctx = make_context(net, provider, events)
+        decision = scheduler.select(ctx)
+        assert decision.admissions[0].queued.event.label == "e0"
+
+    def test_arrival_order_blocks_on_head(self):
+        net, provider = diamond_setup()
+        net.place(ab_flow("hog", 95.0), ("a", "s1", "top", "s2", "b"))
+        blocked = make_event([ab_flow("big", 50.0)])
+        open_event = make_event([ab_flow("small", 2.0)])
+        ctx = make_context(net, provider, [blocked, open_event])
+        assert FlowLevelScheduler(order="arrival").select(ctx).empty
+        # interleave skips the blocked flow and serves the next event
+        decision = FlowLevelScheduler(order="interleave").select(ctx)
+        assert not decision.empty

@@ -1,0 +1,204 @@
+"""Unit tests for the update simulator on the small diamond network."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import ab_flow, cd_flow, diamond_setup  # noqa: E402
+from helpers import BG_TOP  # noqa: E402
+
+from repro.core.event import make_event
+from repro.core.exceptions import SimulationError
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.flowlevel import FlowLevelScheduler
+from repro.sched.lmtf import LMTFScheduler
+from repro.sched.plmtf import PLMTFScheduler
+from repro.sim.simulator import SimulationConfig, UpdateSimulator
+from repro.sim.timing import TimingModel
+from repro.traces.yahoo import YahooLikeTrace
+
+
+def simple_events(count=3, demand=10.0, duration=2.0):
+    return [make_event([ab_flow(f"e{i}f{j}", demand, duration)
+                        for j in range(2)], label=f"e{i}")
+            for i in range(count)]
+
+
+def build_simulator(scheduler=None, events=None, config=None, timing=None):
+    net, provider = diamond_setup()
+    sim = UpdateSimulator(net, provider, scheduler or FIFOScheduler(),
+                          timing=timing or TimingModel(),
+                          config=config or SimulationConfig(
+                              verify_invariants=True))
+    sim.submit(events if events is not None else simple_events())
+    return sim
+
+
+class TestConfigValidation:
+    def test_bad_barrier(self):
+        with pytest.raises(ValueError, match="round_barrier"):
+            SimulationConfig(round_barrier="vibes")
+
+    def test_churn_needs_trace(self):
+        net, provider = diamond_setup()
+        with pytest.raises(ValueError, match="churn_trace"):
+            UpdateSimulator(net, provider, FIFOScheduler(),
+                            config=SimulationConfig(background_churn=True))
+
+
+class TestBasicRuns:
+    def test_fifo_completes_all_events(self):
+        metrics = build_simulator().run()
+        assert metrics.event_count == 3
+        assert metrics.rounds == 3
+        assert metrics.average_ect > 0
+        assert metrics.tail_ect >= metrics.average_ect
+
+    def test_fifo_sequential_timing(self):
+        timing = TimingModel(rule_install_s=0.0, migration_rule_s=0.0,
+                             drain_s_per_mbps=0.0, plan_s_per_op=0.0)
+        metrics = build_simulator(timing=timing).run()
+        # 3 events, each occupying exactly its 2s flow duration, no costs
+        assert metrics.per_event_ect == pytest.approx((2.0, 4.0, 6.0))
+        assert metrics.per_event_delay == pytest.approx((0.0, 2.0, 4.0))
+        assert metrics.makespan == pytest.approx(6.0)
+
+    def test_flows_removed_after_completion(self):
+        sim = build_simulator()
+        sim.run()
+        # only (permanent) background remains; events' flows are gone
+        assert sim.network.flow_count() == 0
+
+    def test_empty_submit_rejected(self):
+        net, provider = diamond_setup()
+        sim = UpdateSimulator(net, provider, FIFOScheduler())
+        with pytest.raises(SimulationError, match="no events"):
+            sim.run()
+
+    def test_single_use(self):
+        sim = build_simulator()
+        sim.run()
+        with pytest.raises(SimulationError, match="already ran"):
+            sim.run()
+        with pytest.raises(SimulationError):
+            sim.submit(simple_events())
+
+    def test_infinite_event_flow_rejected(self):
+        net, provider = diamond_setup()
+        sim = UpdateSimulator(net, provider, FIFOScheduler())
+        permanent = make_event([ab_flow("inf", 10.0, duration=None)
+                                .replace(duration=None)])
+        with pytest.raises(SimulationError, match="infinite"):
+            sim.submit([permanent])
+
+    def test_determinism(self):
+        a = build_simulator(LMTFScheduler(alpha=2, seed=4)).run()
+        b = build_simulator(LMTFScheduler(alpha=2, seed=4)).run()
+        assert a.per_event_ect == b.per_event_ect
+        assert a.total_cost == b.total_cost
+
+
+class TestArrivals:
+    def test_staggered_arrivals(self):
+        events = simple_events(2)
+        events[1] = make_event(list(events[1].flows), arrival_time=100.0,
+                               event_id=events[1].event_id)
+        timing = TimingModel(rule_install_s=0.0, migration_rule_s=0.0,
+                             drain_s_per_mbps=0.0, plan_s_per_op=0.0)
+        metrics = build_simulator(events=events, timing=timing).run()
+        # the late event waits for nothing: zero queuing delay
+        assert metrics.per_event_delay[1] == pytest.approx(0.0)
+        assert metrics.per_event_ect[1] == pytest.approx(2.0)
+
+    def test_batch_visible_to_first_round(self):
+        sim = build_simulator(PLMTFScheduler(alpha=4))
+        metrics = sim.run()
+        # all three tiny events fit one round: the batch was fully visible
+        assert metrics.rounds == 1
+
+
+class TestQueueBehaviour:
+    def test_plmtf_parallelizes(self):
+        timing = TimingModel(rule_install_s=0.0, migration_rule_s=0.0,
+                             drain_s_per_mbps=0.0, plan_s_per_op=0.0)
+        fifo = build_simulator(FIFOScheduler(), timing=timing).run()
+        plmtf = build_simulator(PLMTFScheduler(alpha=4),
+                                timing=timing).run()
+        assert plmtf.average_ect < fifo.average_ect
+        assert plmtf.makespan == pytest.approx(2.0)
+
+    def test_flow_level_serializes_flows(self):
+        timing = TimingModel(rule_install_s=0.0, migration_rule_s=0.0,
+                             drain_s_per_mbps=0.0, plan_s_per_op=0.0)
+        metrics = build_simulator(FlowLevelScheduler(),
+                                  timing=timing).run()
+        # 6 unit flows of 2s each, one at a time
+        assert metrics.makespan == pytest.approx(12.0)
+        assert metrics.rounds == 6
+
+    def test_stall_fallback_skips_blocked_head(self):
+        net, provider = diamond_setup()
+        # a hog makes the first event permanently infeasible
+        net.place(ab_flow("hog", 95.0, duration=None)
+                  .replace(duration=None), ("a", "s1", "top", "s2", "b"))
+        blocked = make_event([ab_flow("big", 50.0, 1.0)], label="blocked")
+        small = make_event([cd_flow("tiny", 2.0, 1.0)], label="small")
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              config=SimulationConfig(stall_fallback=True))
+        sim.submit([blocked, small])
+        with pytest.raises(SimulationError, match="deadlock"):
+            # the fallback admits "small", but "blocked" then deadlocks
+            sim.run()
+
+    def test_deadlock_without_fallback(self):
+        net, provider = diamond_setup()
+        net.place(ab_flow("hog", 95.0, duration=None)
+                  .replace(duration=None), ("a", "s1", "top", "s2", "b"))
+        blocked = make_event([ab_flow("big", 50.0, 1.0)])
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              config=SimulationConfig(stall_fallback=False))
+        sim.submit([blocked])
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+    def test_round_log_records_admissions(self):
+        sim = build_simulator()
+        sim.run()
+        assert len(sim.rounds) == 3
+        assert all(len(r.admitted_events) == 1 for r in sim.rounds)
+
+
+class TestSetupBarrier:
+    def test_ect_measured_at_setup(self):
+        timing = TimingModel(rule_install_s=0.5, migration_rule_s=0.0,
+                             drain_s_per_mbps=0.0, plan_s_per_op=0.0)
+        config = SimulationConfig(round_barrier="setup")
+        metrics = build_simulator(timing=timing, config=config).run()
+        # each round occupies only the 0.5s install; flow durations (2s)
+        # do not extend the ECT under the pipelined reading
+        assert metrics.per_event_ect == pytest.approx((0.5, 1.0, 1.5))
+
+    def test_flows_still_drain_from_network(self):
+        config = SimulationConfig(round_barrier="setup")
+        sim = build_simulator(config=config)
+        sim.run()
+        assert sim.network.flow_count() == 0
+
+
+class TestChurn:
+    def test_background_churns_and_completes(self):
+        net, provider = diamond_setup()
+        net.place(cd_flow("bg1", 10.0, duration=1.0), BG_TOP)
+        churn = YahooLikeTrace(["a", "b", "c", "d"], seed=3,
+                               demand_max=20.0)
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              config=SimulationConfig(
+                                  background_churn=True),
+                              churn_trace=churn)
+        sim.submit(simple_events(2))
+        metrics = sim.run()
+        assert metrics.event_count == 2
+        # the original background flow was replaced/completed
+        assert not net.has_flow("bg1")

@@ -1,0 +1,107 @@
+"""Unit tests for multi-seed statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    aggregate_runs,
+    across_seeds,
+    reduction_summary,
+    summarize,
+)
+from repro.sim.metrics import RunMetrics
+
+
+def metrics(avg_ect: float, cost: float = 100.0,
+            scheduler: str = "x") -> RunMetrics:
+    return RunMetrics(
+        scheduler=scheduler, event_count=3, total_cost=cost,
+        total_migrations=2, average_ect=avg_ect, tail_ect=avg_ect * 2,
+        p95_ect=avg_ect * 1.5, p99_ect=avg_ect * 1.8,
+        average_queuing_delay=avg_ect / 2, worst_queuing_delay=avg_ect,
+        total_plan_time=0.1, makespan=avg_ect * 3, rounds=3,
+        per_event_ect=(avg_ect,) * 3, per_event_delay=(0.0,) * 3,
+        per_event_cost=(cost / 3,) * 3)
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.stdev == 0.0
+        assert s.low == s.high == 5.0
+        assert s.samples == 1
+
+    def test_mean_and_stdev(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.stdev == pytest.approx(2.0)
+        assert s.low < s.mean < s.high
+
+    def test_interval_narrows_with_samples(self):
+        narrow = summarize([1.0, 3.0] * 50)
+        wide = summarize([1.0, 3.0])
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestAggregateRuns:
+    def test_aggregates_all_metrics(self):
+        runs = [metrics(10.0), metrics(20.0)]
+        summary = aggregate_runs(runs)
+        assert summary["average_ect"].mean == pytest.approx(15.0)
+        assert summary["tail_ect"].mean == pytest.approx(30.0)
+        assert summary["total_cost"].mean == pytest.approx(100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+
+class TestAcrossSeeds:
+    def test_runs_per_seed(self):
+        calls = []
+
+        def run_one(seed):
+            calls.append(seed)
+            return metrics(float(seed))
+
+        summary = across_seeds(run_one, seeds=[1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert summary["average_ect"].mean == pytest.approx(2.0)
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            across_seeds(lambda s: metrics(1.0), seeds=[])
+
+
+class TestReductionSummary:
+    def test_paired_reduction(self):
+        baseline = [metrics(100.0), metrics(200.0)]
+        treated = [metrics(50.0), metrics(100.0)]
+        s = reduction_summary(baseline, treated, "average_ect")
+        assert s.mean == pytest.approx(50.0)
+        assert s.stdev == pytest.approx(0.0)
+
+    def test_zero_baseline_maps_to_zero(self):
+        s = reduction_summary([metrics(1.0, cost=0.0)],
+                              [metrics(1.0, cost=5.0)], "total_cost")
+        assert s.mean == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_summary([metrics(1.0)], [], "average_ect")
+
+
+class TestRunMetricsToDict:
+    def test_round_trips_through_json(self):
+        import json
+        payload = json.dumps(metrics(12.0).to_dict())
+        data = json.loads(payload)
+        assert data["average_ect"] == 12.0
+        assert data["per_event_ect"] == [12.0, 12.0, 12.0]

@@ -1,0 +1,58 @@
+"""Unit tests for the simulated timing model."""
+
+import pytest
+
+from repro.core.flow import Flow
+from repro.core.plan import Migration
+from repro.sim.timing import TimingModel
+
+
+def migration(demand: float) -> Migration:
+    flow = Flow(flow_id=f"m{demand}", src="a", dst="b", demand=demand)
+    return Migration(flow=flow, old_path=("a", "x", "b"),
+                     new_path=("a", "y", "b"))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["rule_install_s", "migration_rule_s",
+                                       "drain_s_per_mbps", "plan_s_per_op"])
+    def test_negative_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            TimingModel(**{field: -0.1})
+
+
+class TestMigrationTime:
+    def test_empty_is_zero(self):
+        assert TimingModel().migration_time([]) == 0.0
+
+    def test_sums_rule_and_drain(self):
+        timing = TimingModel(migration_rule_s=0.1, drain_s_per_mbps=0.01)
+        total = timing.migration_time([migration(10.0), migration(20.0)])
+        assert total == pytest.approx(0.1 + 0.1 + 0.1 + 0.2)
+
+    def test_proportional_to_cost(self):
+        timing = TimingModel(migration_rule_s=0.0, drain_s_per_mbps=0.5)
+        assert timing.migration_time([migration(8.0)]) == pytest.approx(4.0)
+
+
+class TestInstallTime:
+    def test_parallel_install_is_constant(self):
+        timing = TimingModel(rule_install_s=0.2, parallel_install=True)
+        assert timing.install_time(1) == pytest.approx(0.2)
+        assert timing.install_time(50) == pytest.approx(0.2)
+
+    def test_serial_install_scales(self):
+        timing = TimingModel(rule_install_s=0.2, parallel_install=False)
+        assert timing.install_time(5) == pytest.approx(1.0)
+
+    def test_zero_flows(self):
+        assert TimingModel().install_time(0) == 0.0
+
+
+class TestPlanTime:
+    def test_scales_with_ops(self):
+        timing = TimingModel(plan_s_per_op=0.001)
+        assert timing.plan_time(500) == pytest.approx(0.5)
+
+    def test_negative_ops_clamped(self):
+        assert TimingModel().plan_time(-5) == 0.0

@@ -1,0 +1,95 @@
+"""Unit tests for leaf-spine and Jellyfish topologies."""
+
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.network.link import path_links
+from repro.network.topology.jellyfish import JellyfishTopology
+from repro.network.topology.leafspine import LeafSpineTopology
+
+
+class TestLeafSpine:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return LeafSpineTopology(leaves=4, spines=3, hosts_per_leaf=2)
+
+    def test_counts(self, topo):
+        assert len(topo.hosts()) == 8
+        assert len(topo.switches()) == 7
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            LeafSpineTopology(leaves=1)
+        with pytest.raises(TopologyError):
+            LeafSpineTopology(spines=0)
+        with pytest.raises(TopologyError):
+            LeafSpineTopology(link_capacity=-1)
+
+    def test_same_leaf_single_path(self, topo):
+        paths = topo.equal_cost_paths("h0_0", "h0_1")
+        assert paths == [("h0_0", "l0", "h0_1")]
+
+    def test_cross_leaf_one_path_per_spine(self, topo):
+        paths = topo.equal_cost_paths("h0_0", "h3_1")
+        assert len(paths) == 3
+        spines = {path[2] for path in paths}
+        assert spines == {"s0", "s1", "s2"}
+
+    def test_paths_exist_in_graph(self, topo):
+        g = topo.graph()
+        for path in topo.equal_cost_paths("h0_0", "h2_0"):
+            for u, v in path_links(path):
+                assert g.has_edge(u, v)
+
+    def test_locate_host(self, topo):
+        assert topo.locate_host("h3_1") == (3, 1)
+        with pytest.raises(TopologyError):
+            topo.locate_host("h9_0")
+
+    def test_same_host_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.equal_cost_paths("h0_0", "h0_0")
+
+
+class TestJellyfish:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return JellyfishTopology(switches=10, degree=3, hosts_per_switch=2,
+                                 seed=1)
+
+    def test_counts(self, topo):
+        assert len(topo.hosts()) == 20
+        assert len(topo.switches()) == 10
+
+    def test_deterministic_given_seed(self):
+        a = JellyfishTopology(switches=10, degree=3, seed=5)
+        b = JellyfishTopology(switches=10, degree=3, seed=5)
+        assert sorted(a.graph().edges()) == sorted(b.graph().edges())
+
+    def test_switch_degree(self, topo):
+        g = topo.graph()
+        for j in range(10):
+            switch = topo.switch_name(j)
+            neighbors = [n for n in g.successors(switch)
+                         if n.startswith("t")]
+            assert len(neighbors) == 3
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            JellyfishTopology(switches=3, degree=4)
+        with pytest.raises(TopologyError):
+            JellyfishTopology(switches=5, degree=3)  # odd product
+
+    def test_paths_found_and_valid(self, topo):
+        g = topo.graph()
+        paths = topo.equal_cost_paths("h0_0", "h5_1")
+        assert paths
+        assert len(paths) <= topo.max_paths
+        for path in paths:
+            assert path[0] == "h0_0" and path[-1] == "h5_1"
+            for u, v in path_links(path):
+                assert g.has_edge(u, v)
+
+    def test_non_host_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.equal_cost_paths("t0", "h0_0")

@@ -1,0 +1,68 @@
+"""Unit tests for the Fig. 2 / Fig. 3 toy models — pinned to the paper."""
+
+import pytest
+
+from repro.experiments.toys import (
+    ToyEvent,
+    cost_order_ects,
+    event_level_ects,
+    fifo_ects,
+    flow_level_ects,
+    paper_fig2_events,
+    paper_fig3_events,
+)
+
+
+class TestFig2Arithmetic:
+    def test_event_level_matches_paper(self):
+        ects = event_level_ects(paper_fig2_events())
+        assert ects == [3.0, 7.0, 12.0]
+        assert sum(ects) / 3 == pytest.approx(22 / 3)
+
+    def test_flow_level_matches_paper(self):
+        ects = flow_level_ects(paper_fig2_events(), round_order=[2, 1, 0])
+        assert ects == [9.0, 11.0, 12.0]
+        assert sum(ects) / 3 == pytest.approx(32 / 3)
+
+    def test_flow_level_default_order(self):
+        ects = flow_level_ects(paper_fig2_events())
+        # forward RR: E1's three flows land on slots 1,4,7
+        assert ects == [7.0, 10.0, 12.0]
+
+    def test_bad_round_order_rejected(self):
+        with pytest.raises(ValueError):
+            flow_level_ects(paper_fig2_events(), round_order=[0, 0, 1])
+
+    def test_tail_identical_both_ways(self):
+        events = paper_fig2_events()
+        assert max(event_level_ects(events)) == \
+            max(flow_level_ects(events, round_order=[2, 1, 0]))
+
+
+class TestFig3Arithmetic:
+    def test_fifo_matches_paper(self):
+        ects = fifo_ects(paper_fig3_events())
+        assert ects == [5.0, 7.0, 9.0]
+        assert sum(ects) / 3 == pytest.approx(7.0)
+
+    def test_cost_order_matches_paper(self):
+        ects = cost_order_ects(paper_fig3_events())
+        assert ects["U2"] == 2.0
+        assert ects["U3"] == 4.0
+        assert ects["U1"] == 9.0
+        assert sum(ects.values()) / 3 == pytest.approx(5.0)
+
+    def test_tail_unchanged(self):
+        events = paper_fig3_events()
+        assert max(fifo_ects(events)) == max(cost_order_ects(events)
+                                             .values())
+
+
+class TestGenericToys:
+    def test_custom_slot_length(self):
+        events = [ToyEvent("A", flows=2)]
+        assert event_level_ects(events, slot=0.5) == [1.0]
+
+    def test_single_event_flow_level_equals_event_level(self):
+        events = [ToyEvent("A", flows=4)]
+        assert flow_level_ects(events) == event_level_ects(events)

@@ -1,0 +1,96 @@
+"""Unit tests for the simulation trace log."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import ab_flow, diamond_setup  # noqa: E402
+
+from repro.core.event import make_event
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.plmtf import PLMTFScheduler
+from repro.sim.simulator import SimulationConfig, UpdateSimulator
+from repro.sim.tracelog import SimulationListener, TraceLog, TraceRecord
+
+
+def run_with_log(scheduler=None, capture_flows=False, events=3):
+    net, provider = diamond_setup()
+    log = TraceLog(capture_flows=capture_flows)
+    sim = UpdateSimulator(net, provider, scheduler or FIFOScheduler(),
+                          config=SimulationConfig(seed=1), listener=log)
+    queue = [make_event([ab_flow(f"e{i}f{j}", 5.0, 1.0) for j in range(2)],
+                        label=f"e{i}") for i in range(events)]
+    sim.submit(queue)
+    metrics = sim.run()
+    return log, metrics
+
+
+class TestTraceLog:
+    def test_records_rounds_and_admissions(self):
+        log, metrics = run_with_log()
+        rounds = log.of_kind("round")
+        assert len(rounds) == metrics.rounds
+        assert rounds[0].data["queue"] == 3
+        admissions = log.of_kind("admission")
+        assert len(admissions) == 3
+        assert all(a.data["flows"] == 2 for a in admissions)
+
+    def test_records_completions(self):
+        log, metrics = run_with_log()
+        completions = log.of_kind("complete")
+        assert len(completions) == metrics.event_count
+        # completion times line up with the measured ECTs
+        times = sorted(r.time for r in completions)
+        assert times[-1] == pytest.approx(metrics.makespan)
+
+    def test_flow_capture_off_by_default(self):
+        log, __ = run_with_log(capture_flows=False)
+        assert log.of_kind("flow_finish") == []
+
+    def test_flow_capture_on(self):
+        log, __ = run_with_log(capture_flows=True)
+        assert len(log.of_kind("flow_finish")) == 6  # 3 events x 2 flows
+
+    def test_plmtf_batching_visible(self):
+        log, __ = run_with_log(PLMTFScheduler(alpha=4))
+        first_round = log.of_kind("round")[0]
+        assert len(first_round.data["admitted"]) == 3
+
+    def test_jsonl_round_trips(self):
+        log, __ = run_with_log()
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == len(log)
+        for line in lines:
+            record = json.loads(line)
+            assert "t" in record and "kind" in record
+
+    def test_save(self, tmp_path):
+        log, __ = run_with_log()
+        target = tmp_path / "run.jsonl"
+        log.save(target)
+        assert len(target.read_text().strip().splitlines()) == len(log)
+
+    def test_records_in_time_order(self):
+        log, __ = run_with_log()
+        times = [record.time for record in log.records]
+        assert times == sorted(times)
+
+
+class TestListenerInterface:
+    def test_noop_listener_is_safe(self):
+        net, provider = diamond_setup()
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              config=SimulationConfig(seed=1),
+                              listener=SimulationListener())
+        sim.submit([make_event([ab_flow("f", 5.0, 1.0)])])
+        metrics = sim.run()
+        assert metrics.event_count == 1
+
+    def test_record_json(self):
+        record = TraceRecord(time=1.234567891, kind="x", data={"a": 1})
+        payload = json.loads(record.to_json())
+        assert payload["kind"] == "x"
+        assert payload["a"] == 1

@@ -1,0 +1,253 @@
+"""Unit tests for trace generators and event generation."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.flow import FlowKind
+from repro.network.topology.fattree import FatTreeTopology
+from repro.traces.base import clamp, hash_endpoints, lognormal, pareto
+from repro.traces.benson import BensonLikeTrace
+from repro.traces.events import (
+    EventGenerator,
+    EventGeneratorConfig,
+    heterogeneous_config,
+    mean_flows_config,
+    switch_upgrade_event,
+    synchronous_config,
+    vm_migration_event,
+)
+from repro.traces.yahoo import YahooLikeTrace
+
+HOSTS = [f"h{i}" for i in range(32)]
+
+
+class TestDistributionHelpers:
+    def test_lognormal_median(self):
+        rng = random.Random(1)
+        samples = sorted(lognormal(rng, 10.0, 0.5) for __ in range(4001))
+        assert samples[2000] == pytest.approx(10.0, rel=0.15)
+
+    def test_pareto_bounds(self):
+        rng = random.Random(1)
+        for __ in range(100):
+            assert pareto(rng, xm=5.0, alpha=2.0) >= 5.0
+
+    def test_clamp(self):
+        assert clamp(5.0, 1.0, 10.0) == 5.0
+        assert clamp(-1.0, 1.0, 10.0) == 1.0
+        assert clamp(99.0, 1.0, 10.0) == 10.0
+
+    def test_hash_endpoints_deterministic(self):
+        a = hash_endpoints(HOSTS, "k1", "k2")
+        b = hash_endpoints(HOSTS, "k1", "k2")
+        assert a == b
+        assert a[0] != a[1]
+
+    def test_hash_endpoints_collision_shifted(self):
+        src, dst = hash_endpoints(HOSTS, "same", "same")
+        assert src != dst
+
+    def test_hash_endpoints_needs_two_hosts(self):
+        with pytest.raises(ValueError):
+            hash_endpoints(["only"], "a", "b")
+
+
+class TestYahooTrace:
+    def test_demands_within_bounds(self):
+        trace = YahooLikeTrace(HOSTS, seed=1, demand_min=2.0,
+                               demand_max=50.0)
+        for __ in range(500):
+            assert 2.0 <= trace.sample_demand() <= 50.0
+
+    def test_heavy_tail_exists(self):
+        trace = YahooLikeTrace(HOSTS, seed=1)
+        demands = [trace.sample_demand() for __ in range(2000)]
+        mean = sum(demands) / len(demands)
+        big = sum(1 for d in demands if d > 4 * mean)
+        assert big > 0  # elephants present
+
+    def test_deterministic_given_seed(self):
+        a = YahooLikeTrace(HOSTS, seed=9).flows(20)
+        b = YahooLikeTrace(HOSTS, seed=9).flows(20)
+        assert [(f.src, f.dst, f.demand) for f in a] == \
+            [(f.src, f.dst, f.demand) for f in b]
+
+    def test_permanent_flows_have_no_duration(self):
+        trace = YahooLikeTrace(HOSTS, seed=1)
+        flow = trace.sample_flow(permanent=True)
+        assert flow.duration is None
+        assert math.isinf(flow.service_time)
+
+    def test_finite_flows_have_consistent_size(self):
+        trace = YahooLikeTrace(HOSTS, seed=1)
+        flow = trace.sample_flow(permanent=False)
+        assert flow.duration is not None
+        assert flow.size == pytest.approx(flow.demand * flow.duration)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YahooLikeTrace(HOSTS, elephant_prob=1.5)
+        with pytest.raises(ValueError):
+            YahooLikeTrace(HOSTS, demand_min=0.0)
+        with pytest.raises(ValueError):
+            YahooLikeTrace(["one"])
+
+    def test_flows_count_validation(self):
+        with pytest.raises(ValueError):
+            YahooLikeTrace(HOSTS, seed=1).flows(-1)
+
+
+class TestBensonTrace:
+    def test_demands_within_bounds(self):
+        trace = BensonLikeTrace(HOSTS, seed=1)
+        for __ in range(300):
+            demand = trace.sample_demand()
+            assert trace.demand_min <= demand <= trace.demand_max
+
+    def test_duration_positive(self):
+        trace = BensonLikeTrace(HOSTS, seed=1)
+        for __ in range(300):
+            assert trace.sample_duration() > 0
+
+
+class TestEndpointSkew:
+    def test_skew_concentrates_traffic(self):
+        uniform = YahooLikeTrace(HOSTS, seed=1, endpoint_skew=0.0)
+        skewed = YahooLikeTrace(HOSTS, seed=1, endpoint_skew=1.5)
+
+        def top_share(trace):
+            counts = {}
+            for __ in range(2000):
+                src, __dst = trace.sample_endpoints()
+                counts[src] = counts.get(src, 0) + 1
+            ranked = sorted(counts.values(), reverse=True)
+            return sum(ranked[:3]) / 2000
+
+        assert top_share(skewed) > top_share(uniform) * 2
+
+    def test_skew_never_self_flow(self):
+        trace = YahooLikeTrace(HOSTS, seed=1, endpoint_skew=2.0)
+        for __ in range(200):
+            src, dst = trace.sample_endpoints()
+            assert src != dst
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            YahooLikeTrace(HOSTS, endpoint_skew=-1.0)
+
+
+class TestEventGeneratorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventGeneratorConfig(min_flows=0)
+        with pytest.raises(ValueError):
+            EventGeneratorConfig(min_flows=10, max_flows=5)
+        with pytest.raises(ValueError):
+            EventGeneratorConfig(arrival="warp")
+        with pytest.raises(ValueError):
+            EventGeneratorConfig(arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            EventGeneratorConfig(host_demand_cap=0.0)
+
+    def test_presets(self):
+        het = heterogeneous_config()
+        assert (het.min_flows, het.max_flows) == (10, 100)
+        sync = synchronous_config()
+        assert (sync.min_flows, sync.max_flows) == (50, 60)
+        mean = mean_flows_config(40)
+        assert (mean.min_flows, mean.max_flows) == (35, 45)
+
+    def test_mean_flows_validation(self):
+        with pytest.raises(ValueError):
+            mean_flows_config(0)
+
+
+class TestEventGenerator:
+    def _generator(self, config=None, seed=3):
+        trace = BensonLikeTrace(HOSTS, seed=seed)
+        return EventGenerator(trace, config=config, seed=seed + 1)
+
+    def test_flow_counts_in_range(self):
+        gen = self._generator(EventGeneratorConfig(min_flows=5,
+                                                   max_flows=8))
+        for event in gen.generate(20):
+            assert 5 <= len(event) <= 8
+
+    def test_flows_are_update_kind(self):
+        event = self._generator().generate(1)[0]
+        for flow in event.flows:
+            assert flow.kind is FlowKind.UPDATE
+            assert flow.event_id == event.event_id
+            assert flow.duration is not None
+
+    def test_batch_arrivals_at_zero(self):
+        events = self._generator().generate(5)
+        assert all(e.arrival_time == 0.0 for e in events)
+
+    def test_poisson_arrivals_increase(self):
+        gen = self._generator(EventGeneratorConfig(arrival="poisson",
+                                                   arrival_rate=2.0))
+        events = gen.generate(10)
+        times = [e.arrival_time for e in events]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_uniform_arrivals_within_span(self):
+        gen = self._generator(EventGeneratorConfig(arrival="uniform",
+                                                   span=5.0))
+        for event in gen.generate(10):
+            assert 0.0 <= event.arrival_time <= 5.0
+
+    def test_host_demand_cap_enforced(self):
+        config = EventGeneratorConfig(min_flows=60, max_flows=60,
+                                      host_demand_cap=50.0)
+        gen = self._generator(config)
+        for event in gen.generate(5):
+            out_load, in_load = {}, {}
+            for flow in event.flows:
+                out_load[flow.src] = out_load.get(flow.src, 0) + flow.demand
+                in_load[flow.dst] = in_load.get(flow.dst, 0) + flow.demand
+            assert max(out_load.values()) <= 50.0 + 1e-6
+            assert max(in_load.values()) <= 50.0 + 1e-6
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            self._generator().generate(-1)
+
+
+class TestScenarioEvents:
+    def test_switch_upgrade_event(self):
+        topo = FatTreeTopology(k=4)
+        net = topo.network()
+        from repro.core.flow import Flow
+        net.place(Flow(flow_id="x1", src="h0_0_0", dst="h1_0_0",
+                       demand=10.0),
+                  ("h0_0_0", "e0_0", "a0_0", "c0_0", "a1_0", "e1_0",
+                   "h1_0_0"))
+        event, affected = switch_upgrade_event(net, "c0_0")
+        assert affected == ["x1"]
+        assert len(event) == 1
+        assert event.flows[0].src == "h0_0_0"
+        assert event.flows[0].flow_id != "x1"  # replacement flow, new id
+        assert "upgrade" in event.label
+
+    def test_switch_upgrade_no_traffic_rejected(self):
+        topo = FatTreeTopology(k=4)
+        net = topo.network()
+        with pytest.raises(ValueError, match="no flows"):
+            switch_upgrade_event(net, "c0_0")
+
+    def test_vm_migration_event(self):
+        event = vm_migration_event(["h1", "h2"], ["h3", "h4"],
+                                   demand=100.0, volume=4000.0)
+        assert len(event) == 2
+        assert event.flows[0].src == "h1" and event.flows[0].dst == "h3"
+        assert event.flows[0].service_time == pytest.approx(40.0)
+
+    def test_vm_migration_validation(self):
+        with pytest.raises(ValueError):
+            vm_migration_event(["h1"], ["h2", "h3"], 10.0, 10.0)
+        with pytest.raises(ValueError):
+            vm_migration_event([], [], 10.0, 10.0)

@@ -1,0 +1,175 @@
+"""Unit tests for the copy-on-write NetworkView."""
+
+import networkx as nx
+import pytest
+
+from repro.core.exceptions import (
+    DuplicateFlowError,
+    InsufficientBandwidthError,
+    UnknownFlowError,
+)
+from repro.core.flow import Flow
+from repro.network.network import Network
+from repro.network.view import NetworkView
+
+
+def diamond() -> Network:
+    g = nx.DiGraph()
+    g.add_node("a", kind="host")
+    g.add_node("b", kind="host")
+    for s in ("s1", "s2", "top", "bot"):
+        g.add_node(s, kind="edge")
+    for u, v in (("a", "s1"), ("s1", "top"), ("s1", "bot"),
+                 ("top", "s2"), ("bot", "s2"), ("s2", "b")):
+        g.add_edge(u, v, capacity=100.0)
+        g.add_edge(v, u, capacity=100.0)
+    return Network(g)
+
+
+TOP = ("a", "s1", "top", "s2", "b")
+BOT = ("a", "s1", "bot", "s2", "b")
+
+
+def flow(fid, demand=10.0):
+    return Flow(flow_id=fid, src="a", dst="b", demand=demand)
+
+
+@pytest.fixture()
+def base() -> Network:
+    net = diamond()
+    net.place(flow("base1", 20.0), TOP)
+    return net
+
+
+class TestReads:
+    def test_transparent_reads(self, base):
+        view = NetworkView(base)
+        assert view.used("s1", "top") == base.used("s1", "top")
+        assert view.capacity("a", "s1") == 100.0
+        assert view.has_flow("base1")
+        assert view.placement("base1").path == TOP
+        assert set(view.flow_ids()) == {"base1"}
+
+    def test_graph_walks_to_base(self, base):
+        view = NetworkView(NetworkView(base))
+        assert view.graph is base.graph
+
+
+class TestMutationIsolation:
+    def test_place_does_not_touch_base(self, base):
+        view = NetworkView(base)
+        view.place(flow("v1"), BOT)
+        assert view.has_flow("v1")
+        assert not base.has_flow("v1")
+        assert base.used("s1", "bot") == pytest.approx(0.0)
+        assert view.used("s1", "bot") == pytest.approx(10.0)
+
+    def test_remove_does_not_touch_base(self, base):
+        view = NetworkView(base)
+        view.remove("base1")
+        assert not view.has_flow("base1")
+        assert base.has_flow("base1")
+        with pytest.raises(UnknownFlowError):
+            view.placement("base1")
+
+    def test_flows_on_link_overlay(self, base):
+        view = NetworkView(base)
+        view.place(flow("v1"), TOP)
+        assert view.flows_on_link("s1", "top") == {"base1", "v1"}
+        assert base.flows_on_link("s1", "top") == {"base1"}
+
+    def test_flow_ids_merge(self, base):
+        view = NetworkView(base)
+        view.place(flow("v1"), BOT)
+        view.remove("base1")
+        assert set(view.flow_ids()) == {"v1"}
+
+
+class TestValidation:
+    def test_duplicate_rejected_across_layers(self, base):
+        view = NetworkView(base)
+        with pytest.raises(DuplicateFlowError):
+            view.place(flow("base1"), BOT)
+
+    def test_insufficient_bandwidth_in_view(self, base):
+        view = NetworkView(base)
+        view.place(flow("v1", 75.0), BOT)  # a->s1 now at 20+75 = 95
+        with pytest.raises(InsufficientBandwidthError):
+            view.place(flow("v2", 10.0), BOT)
+
+    def test_failed_place_leaves_view_clean(self, base):
+        view = NetworkView(base)
+        with pytest.raises(InsufficientBandwidthError):
+            view.place(flow("big", 90.0), TOP)  # 20 + 90 > 100 on a->s1
+        assert not view.dirty
+
+
+class TestCommit:
+    def test_commit_replays_onto_base(self, base):
+        view = NetworkView(base)
+        view.place(flow("v1"), BOT)
+        view.remove("base1")
+        view.commit()
+        assert base.has_flow("v1")
+        assert not base.has_flow("base1")
+        base.check_invariants()
+
+    def test_commit_resets_view(self, base):
+        view = NetworkView(base)
+        view.place(flow("v1"), BOT)
+        view.commit()
+        assert not view.dirty
+        # after commit the view tracks fresh base state
+        assert view.used("s1", "bot") == base.used("s1", "bot")
+
+    def test_reroute_commit_matches_direct(self, base):
+        direct = base.copy()
+        direct.reroute("base1", BOT)
+
+        view = NetworkView(base)
+        view.reroute("base1", BOT)
+        view.commit()
+        assert base.placement("base1").path == BOT
+        for link in (("s1", "top"), ("s1", "bot")):
+            assert base.used(*link) == pytest.approx(direct.used(*link))
+        base.check_invariants()
+
+    def test_discarding_view_is_free(self, base):
+        view = NetworkView(base)
+        view.place(flow("v1"), BOT)
+        del view
+        assert not base.has_flow("v1")
+        base.check_invariants()
+
+    def test_reset_discards_mutations(self, base):
+        view = NetworkView(base)
+        view.place(flow("v1"), BOT)
+        view.reset()
+        assert not view.has_flow("v1")
+        assert view.used("s1", "bot") == pytest.approx(0.0)
+
+
+class TestNestedViews:
+    def test_child_sees_parent_mutations(self, base):
+        parent = NetworkView(base)
+        parent.place(flow("p1"), BOT)
+        child = NetworkView(parent)
+        assert child.has_flow("p1")
+        assert child.used("s1", "bot") == pytest.approx(10.0)
+
+    def test_child_commit_lands_in_parent_not_base(self, base):
+        parent = NetworkView(base)
+        child = NetworkView(parent)
+        child.place(flow("c1"), BOT)
+        child.commit()
+        assert parent.has_flow("c1")
+        assert not base.has_flow("c1")
+
+    def test_two_level_commit_reaches_base(self, base):
+        parent = NetworkView(base)
+        child = NetworkView(parent)
+        child.place(flow("c1"), BOT)
+        child.commit()
+        parent.commit()
+        assert base.has_flow("c1")
+        base.check_invariants()
