@@ -17,6 +17,8 @@ from repro.core.planner import EventPlanner
 from repro.network.routing.provider import PathProvider
 from repro.network.topology.fattree import FatTreeTopology
 from repro.network.view import NetworkView
+from repro.sched.base import QueuedEvent, SchedulingContext
+from repro.sched.lmtf import LMTFScheduler
 from repro.traces.background import BackgroundLoader
 from repro.traces.benson import BensonLikeTrace
 from repro.traces.yahoo import YahooLikeTrace
@@ -98,3 +100,73 @@ def test_event_cost_probe(benchmark, loaded):
 def test_network_copy(benchmark, loaded):
     __, __provider, network = loaded
     benchmark(network.copy)
+
+
+# --------------------------------------------------------- probe cache
+
+
+@pytest.fixture(scope="module")
+def steady_state():
+    """A moderately loaded fat-tree: the probe cache's steady-state regime.
+
+    At ~0.4 utilization most candidate plans are migration-free and hence
+    footprint-cacheable; at 0.7 (the ``loaded`` fixture) nearly every plan
+    migrates, draws randomness, and is uncacheable by design.
+    """
+    topo = FatTreeTopology(k=8)
+    provider = PathProvider(topo)
+    network = topo.network()
+    trace = YahooLikeTrace(topo.hosts(), seed=1)
+    BackgroundLoader(network, provider, trace,
+                     random.Random(2)).load_to_utilization(0.4)
+    btrace = BensonLikeTrace(topo.hosts(), seed=5, duration_median=1.0)
+    events = [make_event(btrace.flows(5), label=f"probe{i}")
+              for i in range(16)]
+    return provider, network, events
+
+
+def _lmtf_rounds(provider, network, events, cache, rounds=60):
+    """Run ``rounds`` LMTF scheduling rounds; return (decisions, scheduler).
+
+    ``select`` never mutates the network, so every round probes the same
+    state — the cache's best case, and exactly the work profile of the
+    steady-state rounds between admissions in a full simulation.
+    """
+    scheduler = LMTFScheduler(alpha=4, seed=3, probe_cache=cache)
+    planner = EventPlanner(provider)
+    rng = random.Random(7)
+    queue = [QueuedEvent(event, seq=i) for i, event in enumerate(events)]
+    ctx = SchedulingContext(now=0.0, queue=queue, planner=planner,
+                            network=network, rng=rng)
+    decisions = [scheduler.select(ctx) for _ in range(rounds)]
+    return decisions, scheduler
+
+
+def _admission_signature(decisions):
+    return [(tuple(a.queued.event.event_id for a in d.admissions),
+             d.planning_ops) for d in decisions]
+
+
+def test_lmtf_probe_rounds_cached(benchmark, steady_state):
+    """Steady-state LMTF rounds with the footprint cache on.
+
+    Asserts the cache's contract on top of timing it: admissions and
+    charged planning ops are identical to the uncached runs (see the
+    companion benchmark below), and the hit rate clears 50%.
+    """
+    provider, network, events = steady_state
+    decisions, scheduler = benchmark(
+        lambda: _lmtf_rounds(provider, network, events, cache=True))
+    baseline, _ = _lmtf_rounds(provider, network, events, cache=False)
+    assert _admission_signature(decisions) == _admission_signature(baseline)
+    stats = scheduler.cache.totals
+    benchmark.extra_info["hit_rate"] = round(stats.hit_rate, 3)
+    benchmark.extra_info["hits"] = stats.hits
+    benchmark.extra_info["misses"] = stats.misses
+    assert stats.hit_rate > 0.5
+
+
+def test_lmtf_probe_rounds_uncached(benchmark, steady_state):
+    """The same rounds with the cache off — the wall-clock baseline."""
+    provider, network, events = steady_state
+    benchmark(lambda: _lmtf_rounds(provider, network, events, cache=False))

@@ -19,19 +19,27 @@ class TopologyError(ReproError):
     """A topology is malformed or a requested node/link does not exist."""
 
 
-class UnknownFlowError(ReproError):
+class PlacementError(ReproError):
+    """Base class for every way a state mutation (place / remove / reroute)
+    can be refused. Rollback code — :meth:`NetworkState.reroute` restoring a
+    flow, :func:`~repro.core.executor.apply_plan` undoing a partial plan —
+    catches this one type so *any* placement failure restores state instead
+    of leaving it half-applied."""
+
+
+class UnknownFlowError(PlacementError):
     """An operation referenced a flow id that is not placed in the network."""
 
 
-class DuplicateFlowError(ReproError):
+class DuplicateFlowError(PlacementError):
     """A flow id was placed twice without being removed in between."""
 
 
-class InvalidPathError(ReproError):
+class InvalidPathError(PlacementError):
     """A path is not a simple connected path in the network graph."""
 
 
-class InsufficientBandwidthError(ReproError):
+class InsufficientBandwidthError(PlacementError):
     """A flow could not be placed because some link lacks residual bandwidth.
 
     Attributes:

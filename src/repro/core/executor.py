@@ -14,7 +14,7 @@ behind.
 
 from __future__ import annotations
 
-from repro.core.exceptions import InsufficientBandwidthError, PlanningError
+from repro.core.exceptions import PlacementError, PlanningError, TopologyError
 from repro.core.plan import EventPlan, ExecutionRecord
 from repro.network.state import NetworkState
 from repro.sim.timing import TimingModel
@@ -23,14 +23,17 @@ from repro.sim.timing import TimingModel
 def apply_plan(state: NetworkState, plan: EventPlan) -> list[str]:
     """Apply a feasible plan's migrations and placements to ``state``.
 
-    Returns the ids of the rerouted (migrated) flows. On mid-way failure the
-    partial application is rolled back before the error propagates, leaving
-    ``state`` untouched.
+    Returns the ids of the rerouted (migrated) flows. On *any* mid-way
+    placement failure — insufficient bandwidth, a full rule table, a
+    missing flow or invalid path — the partial application is rolled back
+    before the error propagates, leaving ``state`` untouched.
 
     Raises:
         PlanningError: the plan has blocked flows.
-        InsufficientBandwidthError: the state diverged from what the plan
-            was computed against and the plan no longer fits.
+        PlacementError: the state diverged from what the plan was computed
+            against and the plan no longer applies (the usual case is
+            ``InsufficientBandwidthError``; rule-table-limited networks
+            raise its ``RuleSpaceError`` subtype).
     """
     if not plan.feasible:
         raise PlanningError(
@@ -48,7 +51,7 @@ def apply_plan(state: NetworkState, plan: EventPlan) -> list[str]:
                 rerouted.append(migration.flow.flow_id)
             state.place(flow_plan.flow, flow_plan.path)
             applied.append(("place", (flow_plan.flow.flow_id,)))
-    except InsufficientBandwidthError:
+    except (PlacementError, TopologyError):
         _rollback(state, applied)
         raise
     return rerouted

@@ -19,6 +19,11 @@ from repro.core.exceptions import InsufficientBandwidthError
 from repro.core.flow import Flow
 from repro.core.migration import MigrationConfig, MigrationPlanner
 from repro.core.plan import EventPlan, FlowPlan
+from repro.network.footprint import (
+    DrawCountingRandom,
+    Footprint,
+    FootprintRecorder,
+)
 from repro.network.link import EPS, path_links
 from repro.network.routing.provider import PathProvider
 from repro.network.state import NetworkState
@@ -136,6 +141,33 @@ class EventPlanner:
         if commit and event_plan.feasible:
             working.commit()
         return event_plan
+
+    def plan_event_probed(
+            self, state: NetworkState, event: UpdateEvent,
+            rng: random.Random) -> tuple[EventPlan, Footprint | None]:
+        """Plan without committing, recording the plan's read footprint.
+
+        Returns ``(plan, footprint)``. The footprint is the exact set of
+        links/nodes whose state the plan depends on: as long as each one's
+        version counter (:meth:`NetworkState.link_version`) is unchanged, a
+        replan would reproduce this plan bit-for-bit, so callers may reuse
+        it (see :class:`repro.sched.cache.ProbeCache`).
+
+        The footprint is ``None`` — the plan is *not* memoizable — when
+        planning consumed randomness (a replan at a different RNG-stream
+        position could differ), made an unbounded read, or ``state`` does
+        not maintain version counters. The RNG stream advances exactly as a
+        plain :meth:`plan_event` call would, so probed and unprobed
+        planning are interchangeable without perturbing determinism.
+        """
+        if not state.supports_versions:
+            return self.plan_event(state, event, rng, commit=False), None
+        recorder = FootprintRecorder(state)
+        counting = DrawCountingRandom(rng)
+        plan = self.plan_event(recorder, event, counting, commit=False)
+        if counting.draws:
+            return plan, None
+        return plan, recorder.footprint()
 
     def probe_cost(self, state: NetworkState, event: UpdateEvent,
                    rng: random.Random) -> float:

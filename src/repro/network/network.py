@@ -76,6 +76,14 @@ class Network(NetworkState):
                 self._rule_capacity[node] = default_rule_capacity
         self._rules_used: dict[str, int] = {
             node: 0 for node in self._rule_capacity}
+        # Monotonic mutation counters: bumped for every link (and, on
+        # rule-tracking networks, every path node) a place/remove touches.
+        # Probe memoization (sched.cache) uses them to prove a cached plan's
+        # footprint is unchanged.
+        self._link_version: dict[LinkId, int] = {
+            link: 0 for link in self._capacity}
+        self._node_version: dict[str, int] = {
+            node: 0 for node in self._rule_capacity}
 
     # ------------------------------------------------------------- structure
 
@@ -167,10 +175,12 @@ class Network(NetworkState):
         for link in placement.links:
             self._used[link] += flow.demand
             self._link_flows[link].add(flow.flow_id)
+            self._link_version[link] += 1
         if self._rule_capacity:
             for node in placement.path:
                 if node in self._rules_used:
                     self._rules_used[node] += 1
+                    self._node_version[node] += 1
         self._placements[flow.flow_id] = placement
         return placement
 
@@ -182,10 +192,12 @@ class Network(NetworkState):
                 # Guard against float drift; usage can never be negative.
                 self._used[link] = 0.0
             self._link_flows[link].discard(flow_id)
+            self._link_version[link] += 1
         if self._rule_capacity:
             for node in placement.path:
                 if node in self._rules_used:
                     self._rules_used[node] -= 1
+                    self._node_version[node] += 1
         del self._placements[flow_id]
         return placement
 
@@ -196,6 +208,21 @@ class Network(NetworkState):
             if (u, v) not in self._capacity:
                 raise InvalidPathError(
                     f"path uses nonexistent link {format_link((u, v))}")
+
+    # ----------------------------------------------------------- versioning
+
+    @property
+    def supports_versions(self) -> bool:
+        return True
+
+    def link_version(self, u: str, v: str) -> int:
+        try:
+            return self._link_version[(u, v)]
+        except KeyError:
+            raise TopologyError(f"no link {format_link((u, v))}") from None
+
+    def node_version(self, node: str) -> int:
+        return self._node_version.get(node, 0)
 
     # ----------------------------------------------------------- rule space
 
@@ -300,6 +327,8 @@ class Network(NetworkState):
         clone._placements = dict(self._placements)
         clone._rule_capacity = dict(self._rule_capacity)
         clone._rules_used = dict(self._rules_used)
+        clone._link_version = dict(self._link_version)
+        clone._node_version = dict(self._node_version)
         return clone
 
     # ----------------------------------------------------------------- views

@@ -12,7 +12,7 @@ from __future__ import annotations
 import abc
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.exceptions import InsufficientBandwidthError
+from repro.core.exceptions import PlacementError, TopologyError
 from repro.core.flow import Flow, Placement
 from repro.network.link import EPS, LinkId, path_links
 
@@ -50,6 +50,33 @@ class NetworkState(abc.ABC):
     def links(self) -> Iterable[LinkId]:
         """Iterate over all directed links."""
 
+    # ------------------------------------------------------------- versioning
+    #
+    # Monotonic per-link (and, on rule-tracking states, per-node) version
+    # counters let probe results be memoized: a cached plan is provably still
+    # valid when every link/node of its read/write footprint reports the same
+    # version it had at planning time. States that do not implement
+    # versioning report ``supports_versions = False`` and are simply never
+    # cached against.
+
+    @property
+    def supports_versions(self) -> bool:
+        """True when this state maintains mutation version counters."""
+        return False
+
+    def link_version(self, u: str, v: str) -> int:
+        """Monotonic counter bumped on every mutation touching ``(u, v)``.
+
+        Only meaningful when :attr:`supports_versions` is True; the default
+        implementation returns 0 for every link.
+        """
+        return 0
+
+    def node_version(self, node: str) -> int:
+        """Monotonic counter bumped whenever ``node``'s rule-table occupancy
+        changes. Always 0 on states that do not track rules."""
+        return 0
+
     # -------------------------------------------------------------- mutations
 
     @abc.abstractmethod
@@ -77,13 +104,16 @@ class NetworkState(abc.ABC):
         condition (links shared with the old path already carry the flow;
         new-only links need the full demand either way) — see
         :mod:`repro.core.consistency` for the *plan-level* one-shot
-        transition analysis, where the distinction is real. On failure the
-        flow is restored to its old path and the error propagates.
+        transition analysis, where the distinction is real. On *any*
+        placement failure — insufficient bandwidth, a full rule table, an
+        invalid or nonexistent path — the flow is restored to its old path
+        before the error propagates, so a failed reroute never loses the
+        flow.
         """
         old = self.remove(flow_id)
         try:
             return self.place(old.flow, new_path)
-        except InsufficientBandwidthError:
+        except (PlacementError, TopologyError):
             self.place(old.flow, old.path)
             raise
 

@@ -41,6 +41,9 @@ class NetworkView(NetworkState):
         self._rules_over: dict[str, int] = {}
         # flow_id -> Placement, or None as a tombstone for a removed flow.
         self._placements_over: dict[str, Placement | None] = {}
+        # Version deltas: local mutation counts layered over base versions.
+        self._ver_over: dict[LinkId, int] = {}
+        self._node_ver_over: dict[str, int] = {}
         self._log: list[tuple] = []
 
     # ------------------------------------------------------------- structure
@@ -89,6 +92,17 @@ class NetworkView(NetworkState):
                 raise UnknownFlowError(f"flow {flow_id!r} removed in view")
             return placement
         return self._base.placement(flow_id)
+
+    @property
+    def supports_versions(self) -> bool:
+        return self._base.supports_versions
+
+    def link_version(self, u: str, v: str) -> int:
+        return self._base.link_version(u, v) + self._ver_over.get((u, v), 0)
+
+    def node_version(self, node: str) -> int:
+        return (self._base.node_version(node)
+                + self._node_ver_over.get(node, 0))
 
     def rule_capacity(self, node: str) -> int | None:
         return self._base.rule_capacity(node)
@@ -144,10 +158,13 @@ class NetworkView(NetworkState):
             self._touch_link(link)
             self._used_over[link] += flow.demand
             self._flows_over[link].add(flow.flow_id)
+            self._ver_over[link] = self._ver_over.get(link, 0) + 1
         if self.tracks_rules:
             for node in placement.path:
                 if self.rule_capacity(node) is not None:
                     self._rules_over[node] = self.rules_used(node) + 1
+                    self._node_ver_over[node] = \
+                        self._node_ver_over.get(node, 0) + 1
         self._placements_over[flow.flow_id] = placement
         self._log.append(("place", flow, placement.path))
         return placement
@@ -159,10 +176,13 @@ class NetworkView(NetworkState):
             self._used_over[link] = max(
                 0.0, self._used_over[link] - placement.flow.demand)
             self._flows_over[link].discard(flow_id)
+            self._ver_over[link] = self._ver_over.get(link, 0) + 1
         if self.tracks_rules:
             for node in placement.path:
                 if self.rule_capacity(node) is not None:
                     self._rules_over[node] = self.rules_used(node) - 1
+                    self._node_ver_over[node] = \
+                        self._node_ver_over.get(node, 0) + 1
         self._placements_over[flow_id] = None
         self._log.append(("remove", flow_id))
         return placement
@@ -190,6 +210,8 @@ class NetworkView(NetworkState):
         self._flows_over.clear()
         self._rules_over.clear()
         self._placements_over.clear()
+        self._ver_over.clear()
+        self._node_ver_over.clear()
         self._log.clear()
 
     @property

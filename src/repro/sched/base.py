@@ -78,10 +78,21 @@ class Admission:
 
 @dataclass
 class RoundDecision:
-    """What a scheduler decided for one round."""
+    """What a scheduler decided for one round.
+
+    ``planning_ops`` counts the *modeled* planning work and is charged as
+    simulated plan time whether or not probes were served from cache — the
+    probe cache (:mod:`repro.sched.cache`) is a wall-clock optimization of
+    the scheduler itself, not of the modeled controller, and keeps cached
+    and uncached runs bit-identical. The ``cache_*`` counters report how
+    many of the round's cost probes hit, missed, or were invalidated.
+    """
 
     admissions: list[Admission] = field(default_factory=list)
     planning_ops: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
 
     @property
     def empty(self) -> bool:

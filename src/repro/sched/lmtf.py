@@ -23,6 +23,7 @@ from repro.sched.base import (
     Scheduler,
     SchedulingContext,
 )
+from repro.sched.cache import ProbeCache
 
 
 class LMTFScheduler(Scheduler):
@@ -32,19 +33,34 @@ class LMTFScheduler(Scheduler):
         alpha: number of random non-head candidates per round (> 0).
         seed: seed for the scheduler's private sampling RNG, kept separate
             from the planner RNG so changing α does not reshuffle plans.
+        probe_cache: memoize cost probes by link footprint (default on).
+            Probes whose plans are provably unchanged — every link/node the
+            plan read still reports the same version counter — are served
+            from cache instead of replanned. Admissions, costs, and charged
+            planning ops are bit-identical with the cache on or off; only
+            the scheduler's wall-clock time changes.
     """
 
     name = "lmtf"
 
-    def __init__(self, alpha: int = 4, seed: int = 0):
+    def __init__(self, alpha: int = 4, seed: int = 0,
+                 probe_cache: bool = True):
         if alpha < 1:
             raise ValueError(f"alpha must be >= 1, got {alpha}")
         self.alpha = alpha
         self._seed = seed
         self._sample_rng = random.Random(seed)
+        self._cache = ProbeCache() if probe_cache else None
+
+    @property
+    def cache(self) -> ProbeCache | None:
+        """The probe cache, or None when caching is disabled."""
+        return self._cache
 
     def reset(self) -> None:
         self._sample_rng = random.Random(self._seed)
+        if self._cache is not None:
+            self._cache.clear()
 
     # ------------------------------------------------------------------ API
 
@@ -55,17 +71,56 @@ class LMTFScheduler(Scheduler):
         plans: list[tuple[QueuedEvent, EventPlan]] = []
         ops = 0
         for queued in candidates:
-            plan = self.plan_whole_event(ctx, queued)
+            plan = self.probe_event(ctx, queued)
             ops += plan.planning_ops
             plans.append((queued, plan))
         best = self.pick_cheapest(plans)
         if best is None:
-            return RoundDecision(planning_ops=ops)
+            return self._finish(RoundDecision(planning_ops=ops))
         queued, plan = best
-        return RoundDecision(admissions=[Admission(queued=queued, plan=plan)],
-                             planning_ops=ops)
+        return self._finish(RoundDecision(
+            admissions=[Admission(queued=queued, plan=plan)],
+            planning_ops=ops))
 
     # -------------------------------------------------------------- internals
+
+    def probe_event(self, ctx: SchedulingContext,
+                    queued: QueuedEvent) -> EventPlan:
+        """Plan ``queued``'s remaining flows, via the probe cache if on.
+
+        A cache hit returns the memoized plan — including its original
+        ``planning_ops``, which a fresh plan would reproduce exactly (that
+        is the cache's reuse condition) — so the simulated plan-time charge
+        is unchanged. A miss plans freshly and memoizes when the plan is
+        footprint-stable (no RNG draws, no unbounded reads).
+        """
+        if self._cache is None:
+            return self.plan_whole_event(ctx, queued)
+        key = (queued.event.event_id,
+               tuple(f.flow_id for f in queued.remaining))
+        plan = self._cache.lookup(key, ctx.network)
+        if plan is not None:
+            return plan
+        if not self._cache.should_record(key):
+            # Recent plans for this key were RNG-dependent; skip the
+            # footprint-recording overhead until the backoff expires.
+            return self.plan_whole_event(ctx, queued)
+        plan, footprint = ctx.planner.plan_event_probed(
+            ctx.network, queued.subevent(queued.remaining), ctx.rng)
+        if footprint is not None:
+            self._cache.store(key, ctx.network, plan, footprint)
+        else:
+            self._cache.note_uncacheable(key)
+        return plan
+
+    def _finish(self, decision: RoundDecision) -> RoundDecision:
+        """Attach this round's cache counters to the decision."""
+        if self._cache is not None:
+            stats = self._cache.drain_round()
+            decision.cache_hits = stats.hits
+            decision.cache_misses = stats.misses
+            decision.cache_invalidations = stats.invalidations
+        return decision
 
     def sample_candidates(self,
                           queue: list[QueuedEvent]) -> list[QueuedEvent]:

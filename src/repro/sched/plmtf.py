@@ -18,7 +18,7 @@ events.
 
 from __future__ import annotations
 
-from repro.core.exceptions import InsufficientBandwidthError, PlanningError
+from repro.core.exceptions import PlacementError, PlanningError
 from repro.core.executor import apply_plan
 from repro.core.plan import EventPlan
 from repro.network.view import NetworkView
@@ -69,8 +69,9 @@ class PLMTFScheduler(LMTFScheduler):
 
     name = "plmtf"
 
-    def __init__(self, alpha: int = 4, seed: int = 0, admit: str = "shared"):
-        super().__init__(alpha=alpha, seed=seed)
+    def __init__(self, alpha: int = 4, seed: int = 0, admit: str = "shared",
+                 probe_cache: bool = True):
+        super().__init__(alpha=alpha, seed=seed, probe_cache=probe_cache)
         if admit not in ADMIT_MODES:
             raise ValueError(f"unknown admit mode {admit!r}; "
                              f"pick one of {ADMIT_MODES}")
@@ -82,15 +83,17 @@ class PLMTFScheduler(LMTFScheduler):
         candidates = self.sample_candidates(ctx.queue)
 
         # Step 1 — the LMTF step: probe all candidates, pick the cheapest.
+        # Probes go through the footprint cache; step-2 replans run on the
+        # transient batch view and are never cached.
         probes: list[tuple[QueuedEvent, EventPlan]] = []
         ops = 0
         for queued in candidates:
-            plan = self.plan_whole_event(ctx, queued)
+            plan = self.probe_event(ctx, queued)
             ops += plan.planning_ops
             probes.append((queued, plan))
         best = self.pick_cheapest(probes)
         if best is None:
-            return RoundDecision(planning_ops=ops)
+            return self._finish(RoundDecision(planning_ops=ops))
         head_queued, head_plan = best
 
         # Step 2 — opportunistic updating: walk the other candidates in
@@ -114,7 +117,8 @@ class PLMTFScheduler(LMTFScheduler):
                 continue
             admissions.append(Admission(queued=queued, plan=plan))
             batch_flow_ids.update(fp.flow.flow_id for fp in plan.flow_plans)
-        return RoundDecision(admissions=admissions, planning_ops=ops)
+        return self._finish(RoundDecision(admissions=admissions,
+                                          planning_ops=ops))
 
     # ------------------------------------------------------------- internals
 
@@ -134,7 +138,7 @@ class PLMTFScheduler(LMTFScheduler):
                     for m in probe.migrations):
                 try:
                     apply_plan(batch_view, probe)
-                except (InsufficientBandwidthError, PlanningError):
+                except (PlacementError, PlanningError):
                     pass
                 else:
                     return probe, 0

@@ -81,6 +81,18 @@ class RunMetrics:
     per_event_ect: tuple[float, ...]
     per_event_delay: tuple[float, ...]
     per_event_cost: tuple[float, ...]
+    # Probe-cache counters (zero for schedulers without a cache). These
+    # describe the scheduler's wall-clock behavior only; simulated plan time
+    # is charged identically with or without the cache.
+    probe_cache_hits: int = 0
+    probe_cache_misses: int = 0
+    probe_cache_invalidations: int = 0
+
+    @property
+    def probe_cache_hit_rate(self) -> float:
+        """Fraction of cost probes served from cache (0.0 when none ran)."""
+        probes = self.probe_cache_hits + self.probe_cache_misses
+        return self.probe_cache_hits / probes if probes else 0.0
 
     def to_dict(self) -> dict:
         """JSON-serializable representation (tuples become lists)."""
@@ -88,6 +100,7 @@ class RunMetrics:
         data = asdict(self)
         for key in ("per_event_ect", "per_event_delay", "per_event_cost"):
             data[key] = list(data[key])
+        data["probe_cache_hit_rate"] = self.probe_cache_hit_rate
         return data
 
     def summary(self) -> str:
@@ -108,6 +121,9 @@ class MetricsCollector:
         self._plan_time = 0.0
         self._rounds = 0
         self._makespan = 0.0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_invalidations = 0
 
     # --------------------------------------------------------------- record
 
@@ -119,9 +135,13 @@ class MetricsCollector:
             event_id=event_id, arrival_time=arrival_time,
             flow_count=flow_count)
 
-    def on_round(self, plan_time: float) -> None:
+    def on_round(self, plan_time: float, cache_hits: int = 0,
+                 cache_misses: int = 0, cache_invalidations: int = 0) -> None:
         self._rounds += 1
         self._plan_time += plan_time
+        self._cache_hits += cache_hits
+        self._cache_misses += cache_misses
+        self._cache_invalidations += cache_invalidations
 
     def on_wait(self, event_id: str) -> None:
         self._record(event_id).rounds_waited += 1
@@ -195,4 +215,7 @@ class MetricsCollector:
             per_event_ect=tuple(ects),
             per_event_delay=tuple(delays),
             per_event_cost=tuple(costs),
+            probe_cache_hits=self._cache_hits,
+            probe_cache_misses=self._cache_misses,
+            probe_cache_invalidations=self._cache_invalidations,
         )

@@ -97,7 +97,12 @@ class SimulationConfig:
 
 @dataclass
 class RoundLog:
-    """Diagnostic record of one scheduling round."""
+    """Diagnostic record of one scheduling round.
+
+    The ``cache_*`` fields mirror the scheduler's probe-cache counters for
+    the round (all zero for schedulers without a probe cache); benchmarks
+    use them to report per-round hit rates.
+    """
 
     index: int
     start_time: float
@@ -105,6 +110,9 @@ class RoundLog:
     admitted_events: tuple[str, ...]
     planning_ops: int
     total_cost: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
 
 
 class UpdateSimulator:
@@ -250,9 +258,11 @@ class UpdateSimulator:
                                 network=self._network, rng=self._rng)
         decision = self._scheduler.select(ctx)
         if decision.empty and self._should_fallback():
-            decision = self._fallback_decision(ctx, decision.planning_ops)
+            decision = self._fallback_decision(ctx, decision)
         plan_time = self._timing.plan_time(decision.planning_ops)
-        self._metrics.on_round(plan_time)
+        self._metrics.on_round(plan_time, decision.cache_hits,
+                               decision.cache_misses,
+                               decision.cache_invalidations)
         self._round_index += 1
         if self._listener is not None:
             self._listener.on_round(
@@ -276,8 +286,13 @@ class UpdateSimulator:
                 and self._engine.pending == 0)
 
     def _fallback_decision(self, ctx: SchedulingContext,
-                           ops: int) -> RoundDecision:
-        """Admit the first feasible queued event in arrival order."""
+                           prior: RoundDecision) -> RoundDecision:
+        """Admit the first feasible queued event in arrival order.
+
+        ``prior`` is the scheduler's empty decision; its planning ops and
+        probe-cache counters carry over into the fallback decision.
+        """
+        ops = prior.planning_ops
         for queued in ctx.queue:
             plan = self._planner.plan_event(
                 self._network, queued.subevent(queued.remaining), self._rng,
@@ -286,8 +301,14 @@ class UpdateSimulator:
             if plan.feasible:
                 return RoundDecision(
                     admissions=[Admission(queued=queued, plan=plan)],
-                    planning_ops=ops)
-        return RoundDecision(planning_ops=ops)
+                    planning_ops=ops,
+                    cache_hits=prior.cache_hits,
+                    cache_misses=prior.cache_misses,
+                    cache_invalidations=prior.cache_invalidations)
+        return RoundDecision(planning_ops=ops,
+                             cache_hits=prior.cache_hits,
+                             cache_misses=prior.cache_misses,
+                             cache_invalidations=prior.cache_invalidations)
 
     def _check_deadlock(self) -> None:
         if self._round_outstanding == 0 and self._engine.pending == 0:
@@ -352,7 +373,10 @@ class UpdateSimulator:
         self._rounds.append(RoundLog(
             index=self._round_index, start_time=self._engine.now,
             plan_time=plan_time, admitted_events=tuple(admitted_ids),
-            planning_ops=decision.planning_ops, total_cost=total_cost))
+            planning_ops=decision.planning_ops, total_cost=total_cost,
+            cache_hits=decision.cache_hits,
+            cache_misses=decision.cache_misses,
+            cache_invalidations=decision.cache_invalidations))
         if setup_barrier:
             self._engine.schedule_at(round_end, self._end_round)
         if self._config.verify_invariants:

@@ -6,8 +6,10 @@ from repro.core.exceptions import (
     DuplicateFlowError,
     InsufficientBandwidthError,
     InvalidPathError,
+    PlacementError,
     PlanningError,
     ReproError,
+    RuleSpaceError,
     SimulationError,
     TopologyError,
     UnknownFlowError,
@@ -36,6 +38,31 @@ class TestHierarchy:
                     raise error_type("x", bottleneck=("a", "b"),
                                      deficit=1.0)
                 raise error_type("x")
+
+
+class TestPlacementFamily:
+    """Every way a place() can fail shares the PlacementError base, so
+    rollback paths (state.reroute, executor.apply_plan) catch one type."""
+
+    @pytest.mark.parametrize("error_type", [
+        DuplicateFlowError,
+        InsufficientBandwidthError,
+        InvalidPathError,
+        RuleSpaceError,
+        UnknownFlowError,
+    ])
+    def test_placement_failures_share_base(self, error_type):
+        assert issubclass(error_type, PlacementError)
+
+    @pytest.mark.parametrize("error_type", [PlanningError, SimulationError,
+                                            TopologyError])
+    def test_non_placement_errors_excluded(self, error_type):
+        assert not issubclass(error_type, PlacementError)
+
+    def test_rule_space_is_a_bandwidth_error(self):
+        # Historical shape kept for compatibility: rule exhaustion is a
+        # capacity failure and older call sites catch the bandwidth type.
+        assert issubclass(RuleSpaceError, InsufficientBandwidthError)
 
 
 class TestInsufficientBandwidth:

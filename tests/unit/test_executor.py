@@ -82,6 +82,42 @@ class TestApplyPlan:
         assert not net.has_flow(plan.flow_plans[0].flow.flow_id)
         net.check_invariants()
 
+    def test_invalid_path_rolls_back(self):
+        # Regression: rollback used to trigger only on bandwidth failures,
+        # so a plan whose later placement hit a non-bandwidth error left
+        # the earlier placements behind.
+        from repro.core.exceptions import InvalidPathError
+        from repro.core.plan import FlowPlan
+        net = diamond_topology().network()
+        f1, f2 = update_flow("ok", 10.0), update_flow("bad", 10.0)
+        event = make_event([f1, f2])
+        plan = EventPlan(event=event, flow_plans=(
+            FlowPlan(flow=f1, path=("a", "s1", "top", "s2", "b")),
+            FlowPlan(flow=f2, path=("a", "s1", "nowhere", "b"))))
+        with pytest.raises(InvalidPathError):
+            apply_plan(net, plan)
+        assert not net.has_flow("ok")
+        assert net.used("s1", "top") == pytest.approx(0.0)
+        net.check_invariants()
+
+    def test_rule_space_failure_rolls_back(self):
+        from repro.core.exceptions import RuleSpaceError
+        from repro.core.plan import FlowPlan
+        g = diamond_topology().graph()
+        g.nodes["top"]["rule_capacity"] = 1
+        net = CustomTopology(g, name="d", max_paths=4).network()
+        f1, f2 = update_flow("first", 10.0), update_flow("second", 10.0)
+        event = make_event([f1, f2])
+        top_path = ("a", "s1", "top", "s2", "b")
+        plan = EventPlan(event=event, flow_plans=(
+            FlowPlan(flow=f1, path=top_path),
+            FlowPlan(flow=f2, path=top_path)))  # needs a second rule slot
+        with pytest.raises(RuleSpaceError):
+            apply_plan(net, plan)
+        assert not net.has_flow("first")
+        assert net.rules_used("top") == 0
+        net.check_invariants()
+
 
 class TestExecutor:
     def test_execute_times_match_model(self, planned):

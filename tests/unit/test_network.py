@@ -177,6 +177,31 @@ class TestReroute:
         assert net.used("s1", "top") == pytest.approx(60.0)
         net.check_invariants()
 
+    def test_reroute_restores_on_invalid_path(self):
+        # Regression: the restore used to trigger only on bandwidth
+        # failures, so a reroute onto a bogus path silently dropped the
+        # flow from the network.
+        net = Network(diamond_graph())
+        net.place(flow("f1", demand=10.0), TOP_PATH)
+        with pytest.raises(InvalidPathError):
+            net.reroute("f1", ("a", "s1", "nowhere", "b"))
+        assert net.placement("f1").path == TOP_PATH
+        assert net.used("s1", "top") == pytest.approx(10.0)
+        net.check_invariants()
+
+    def test_reroute_restores_on_full_rule_table(self):
+        from repro.core.exceptions import RuleSpaceError
+        g = diamond_graph()
+        g.nodes["bot"]["rule_capacity"] = 1
+        net = Network(g)
+        hog = Flow(flow_id="hog", src="s1", dst="s2", demand=1.0)
+        net.place(hog, ("s1", "bot", "s2"))  # bot's only rule slot
+        net.place(flow("f1", demand=10.0), TOP_PATH)
+        with pytest.raises(RuleSpaceError):
+            net.reroute("f1", BOT_PATH)
+        assert net.placement("f1").path == TOP_PATH
+        net.check_invariants()
+
 
 class TestQueries:
     def test_unknown_link_raises(self, net):
