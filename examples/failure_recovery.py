@@ -64,7 +64,7 @@ def main() -> None:
     metrics = simulator.run()
     print(f"repair event completed: queuing {metrics.per_event_delay[0]:.2f}s, "
           f"ECT {metrics.per_event_ect[0]:.2f}s, extra migration "
-          f"{metrics.total_cost:.0f} Mbit/s")
+          f"{metrics.total_cost:.0f} Mbit")
 
     # The repair flows completed their (finite) transmissions; the point is
     # that the planner placed every one of them while the switch was dark.

@@ -45,14 +45,14 @@ def main() -> None:
             "scheduler": name,
             "avg_ect_s": metrics.average_ect,
             "tail_ect_s": metrics.tail_ect,
-            "cost_mbps": metrics.total_cost,
+            "cost_mbit": metrics.total_cost,
             "avg_qd_s": metrics.average_queuing_delay,
             "plan_s": metrics.total_plan_time,
             "rounds": metrics.rounds,
         })
     print()
     print(render_table(
-        ["scheduler", "avg_ect_s", "tail_ect_s", "cost_mbps", "avg_qd_s",
+        ["scheduler", "avg_ect_s", "tail_ect_s", "cost_mbit", "avg_qd_s",
          "plan_s", "rounds"],
         rows,
         title="30 heterogeneous events, ~70% utilization, alpha=4",

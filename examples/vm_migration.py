@@ -67,7 +67,7 @@ def main() -> None:
         metrics = simulator.run()
         print(f"  {scheduler.name:11s} avg ECT {metrics.average_ect:7.1f}s  "
               f"evacuation done in {metrics.makespan:7.1f}s  "
-              f"migration cost {metrics.total_cost:5.0f} Mbit/s")
+              f"migration cost {metrics.total_cost:5.0f} Mbit")
     print("\nP-LMTF finishes the rack fastest by running compatible "
           "per-host events in the same round.")
 

@@ -40,6 +40,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the LMTF/P-LMTF sample size")
     parser.add_argument("--probes", type=int, default=None,
                         help="fig1 only: probe flows per point")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run simulation cells in N worker processes "
+                             "(results are identical to a sequential "
+                             "--jobs 1 run)")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse completed cells from this figure's "
+                             "checkpoint instead of recomputing them")
+    parser.add_argument("--checkpoint-dir", default="checkpoints",
+                        help="directory for per-figure JSONL checkpoints "
+                             "(default: checkpoints/)")
     parser.add_argument("--out", default="results",
                         help="report only: output directory")
     parser.add_argument("--quick", action="store_true",
@@ -74,11 +84,37 @@ def main(argv: list[str] | None = None) -> int:
         value = getattr(args, name)
         if value is not None and name in accepted:
             kwargs[name] = value
+    kwargs.update(_parallel_kwargs(args, args.figure, accepted))
     started = time.time()
     result = runner(**kwargs)
     print(result.to_table())
     print(f"\n[{args.figure} completed in {time.time() - started:.1f}s]")
     return 0
+
+
+def _parallel_kwargs(args, figure: str, accepted) -> dict:
+    """kwargs implementing ``--jobs``/``--resume`` for one figure runner.
+
+    Checkpoints land in ``<checkpoint-dir>/<figure>-seed<seed>.jsonl`` so a
+    killed sweep resumes with the exact same command plus ``--resume``.
+    Figures whose runner predates the cell runner get a warning and run
+    sequentially.
+    """
+    from pathlib import Path
+
+    if args.jobs is None and not args.resume:
+        return {}
+    if "jobs" not in accepted:
+        print(f"warning: {figure} does not support --jobs/--resume; "
+              f"running sequentially", file=sys.stderr)
+        return {}
+    from repro.experiments.runner import PrintProgress
+    checkpoint_dir = Path(args.checkpoint_dir)
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    return {"jobs": args.jobs if args.jobs is not None else 1,
+            "resume": args.resume,
+            "checkpoint": checkpoint_dir / f"{figure}-seed{args.seed}.jsonl",
+            "listener": PrintProgress()}
 
 
 def _report(args) -> int:
@@ -100,7 +136,12 @@ def _report(args) -> int:
         names = list(QUICK_FIGURES)
     else:
         names = list(FIGURES)
-    results = run_figures(names, progress=print, seed=args.seed)
+    overrides = {"seed": args.seed}
+    if args.jobs is not None:
+        # Per-figure checkpoints don't compose with a multi-figure report;
+        # forward the worker-pool fan-out alone.
+        overrides["jobs"] = args.jobs
+    results = run_figures(names, progress=print, **overrides)
     path = write_report(results, args.out)
     print(f"report written to {path}")
     return 0

@@ -23,6 +23,32 @@ from dataclasses import dataclass, field
 _flow_counter = itertools.count()
 
 
+def flow_id_state() -> int:
+    """The next integer :func:`next_flow_id` would hand out.
+
+    Flow ids feed the ECMP-style path hash
+    (:meth:`~repro.core.planner.EventPlanner.desired_path`), so simulation
+    results depend on the counter state at scenario-build time. The
+    experiment runner snapshots and restores it around each cell to make
+    every cell's result a pure function of its spec.
+    """
+    global _flow_counter
+    value = next(_flow_counter)
+    _flow_counter = itertools.count(value)
+    return value
+
+
+def set_flow_id_state(value: int) -> None:
+    """Reset the flow-id counter so the next id is ``f{value}``.
+
+    Only safe when flows minted under the old counter state will never share
+    a network with flows minted under the new one (hermetic experiment
+    cells); colliding ids would corrupt placement bookkeeping.
+    """
+    global _flow_counter
+    _flow_counter = itertools.count(value)
+
+
 class FlowKind(enum.Enum):
     """Why a flow exists; only used for bookkeeping and reporting."""
 

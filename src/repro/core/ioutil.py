@@ -1,0 +1,36 @@
+"""Small filesystem utilities shared across the library.
+
+Result artifacts (trace logs, experiment JSON, sweep checkpoints) are what
+resume logic and downstream tooling trust, so they must never be observable
+half-written. :func:`atomic_write_text` provides the standard
+write-to-temp-then-rename pattern: a crash or interrupt mid-write leaves
+either the previous content or the complete new content, never a truncated
+file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The content goes to a temporary sibling file (same directory, so the
+    final ``os.replace`` stays on one filesystem), is flushed and fsynced,
+    and then renamed over the target. Readers concurrent with the write see
+    the old content until the rename lands.
+    """
+    target = Path(path)
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)

@@ -28,6 +28,7 @@ from repro.core.migration import MigrationConfig
 from repro.core.planner import EventPlanner, PlannerConfig
 from repro.experiments.common import Scenario, run_schedulers
 from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import GridRow, run_scheduler_grid, use_runner
 from repro.sched.fifo import FIFOScheduler
 from repro.sched.lmtf import LMTFScheduler
 from repro.sched.plmtf import ADMIT_MODES, PLMTFScheduler
@@ -35,7 +36,9 @@ from repro.traces.events import heterogeneous_config
 
 
 def alpha_sweep(seed: int = 0, events: int = 30, utilization: float = 0.7,
-                alphas=(1, 2, 4, 8)) -> ExperimentResult:
+                alphas=(1, 2, 4, 8), jobs: int | None = None,
+                checkpoint=None, resume: bool = False,
+                listener=None) -> ExperimentResult:
     """How much of LMTF/P-LMTF's benefit α=2 already captures."""
     result = ExperimentResult(
         name="ablation-alpha",
@@ -46,13 +49,25 @@ def alpha_sweep(seed: int = 0, events: int = 30, utilization: float = 0.7,
         params={"seed": seed, "events": events})
     scenario = Scenario(utilization=utilization, seed=seed, events=events,
                         churn=True, event_config=heterogeneous_config())
-    queue = scenario.generate_events()
-    fifo = run_schedulers(scenario, [FIFOScheduler()], events=queue)["fifo"]
+    # The legacy path shares one pre-generated queue across rows (the
+    # historical id-allocation order); runner cells regenerate hermetically.
+    queue = (None if use_runner(jobs, checkpoint, resume)
+             else scenario.generate_events())
+    rows = [GridRow(key="fifo", scenario=scenario,
+                    schedulers=({"kind": "fifo"},), events=queue)]
+    rows += [
+        GridRow(key=f"alpha={alpha}", scenario=scenario,
+                schedulers=(
+                    {"kind": "lmtf", "alpha": alpha, "seed": seed + 9},
+                    {"kind": "plmtf", "alpha": alpha, "seed": seed + 9},
+                ), events=queue)
+        for alpha in alphas
+    ]
+    grid = run_scheduler_grid(rows, jobs=jobs, checkpoint=checkpoint,
+                              resume=resume, listener=listener)
+    fifo = grid["fifo"]["fifo"]
     for alpha in alphas:
-        metrics = run_schedulers(scenario, [
-            LMTFScheduler(alpha=alpha, seed=seed + 9),
-            PLMTFScheduler(alpha=alpha, seed=seed + 9),
-        ], events=queue)
+        metrics = grid[f"alpha={alpha}"]
         result.add_row(
             alpha=alpha,
             **{"lmtf_avg_ect_red%": percent_reduction(
@@ -66,7 +81,9 @@ def alpha_sweep(seed: int = 0, events: int = 30, utilization: float = 0.7,
 
 def admission_sweep(seed: int = 0, events: int = 30,
                     utilization: float = 0.7,
-                    modes=ADMIT_MODES) -> ExperimentResult:
+                    modes=ADMIT_MODES, jobs: int | None = None,
+                    checkpoint=None, resume: bool = False,
+                    listener=None) -> ExperimentResult:
     """The efficiency/cost tradeoff of P-LMTF admission policies."""
     result = ExperimentResult(
         name="ablation-admission",
@@ -77,12 +94,21 @@ def admission_sweep(seed: int = 0, events: int = 30,
         params={"seed": seed, "events": events})
     scenario = Scenario(utilization=utilization, seed=seed, events=events,
                         churn=True, event_config=heterogeneous_config())
-    queue = scenario.generate_events()
-    fifo = run_schedulers(scenario, [FIFOScheduler()], events=queue)["fifo"]
+    queue = (None if use_runner(jobs, checkpoint, resume)
+             else scenario.generate_events())
+    rows = [GridRow(key="fifo", scenario=scenario,
+                    schedulers=({"kind": "fifo"},), events=queue)]
+    rows += [
+        GridRow(key=f"admit={mode}", scenario=scenario,
+                schedulers=({"kind": "plmtf", "alpha": 4, "seed": seed + 9,
+                             "admit": mode},), events=queue)
+        for mode in modes
+    ]
+    grid = run_scheduler_grid(rows, jobs=jobs, checkpoint=checkpoint,
+                              resume=resume, listener=listener)
+    fifo = grid["fifo"]["fifo"]
     for mode in modes:
-        metrics = run_schedulers(scenario, [
-            PLMTFScheduler(alpha=4, seed=seed + 9, admit=mode),
-        ], events=queue)["plmtf"]
+        metrics = grid[f"admit={mode}"]["plmtf"]
         result.add_row(
             admit=mode,
             **{"avg_ect_red%": percent_reduction(fifo.average_ect,

@@ -9,17 +9,18 @@ average, and the flow-level curves jump sharply around 30 events.
 from __future__ import annotations
 
 from repro.analysis.normalize import speedup
-from repro.experiments.common import Scenario, run_schedulers
+from repro.experiments.common import Scenario
 from repro.experiments.results import ExperimentResult
-from repro.sched.fifo import FIFOScheduler
-from repro.sched.flowlevel import FlowLevelScheduler
+from repro.experiments.runner import GridRow, run_scheduler_grid
 from repro.traces.events import heterogeneous_config
 
 EVENT_COUNTS = (10, 20, 30, 40, 50)
 
 
 def run(seed: int = 0, utilization: float = 0.7,
-        event_counts=EVENT_COUNTS) -> ExperimentResult:
+        event_counts=EVENT_COUNTS, jobs: int | None = None,
+        checkpoint=None, resume: bool = False,
+        listener=None) -> ExperimentResult:
     result = ExperimentResult(
         name="fig5",
         title="avg/tail ECT of flow-level vs event-level scheduling vs "
@@ -28,12 +29,18 @@ def run(seed: int = 0, utilization: float = 0.7,
                  "flow_tail_ect", "event_tail_ect",
                  "avg_speedup", "tail_speedup"],
         params={"seed": seed, "utilization": utilization})
+    rows = [
+        GridRow(key=f"events={count}",
+                scenario=Scenario(utilization=utilization,
+                                  seed=seed + count, events=count,
+                                  event_config=heterogeneous_config()),
+                schedulers=({"kind": "fifo"}, {"kind": "flow-level"}))
+        for count in event_counts
+    ]
+    grid = run_scheduler_grid(rows, jobs=jobs, checkpoint=checkpoint,
+                              resume=resume, listener=listener)
     for count in event_counts:
-        scenario = Scenario(utilization=utilization, seed=seed + count,
-                            events=count,
-                            event_config=heterogeneous_config())
-        metrics = run_schedulers(
-            scenario, [FIFOScheduler(), FlowLevelScheduler()])
+        metrics = grid[f"events={count}"]
         flow, event = metrics["flow-level"], metrics["fifo"]
         result.add_row(
             events=count,

@@ -10,17 +10,18 @@ tail ECT by 40–60% / 30–50%, largely independent of utilization.
 from __future__ import annotations
 
 from repro.analysis.normalize import percent_reduction
-from repro.experiments.common import DEFAULTS, Scenario, run_schedulers
+from repro.experiments.common import DEFAULTS, Scenario
 from repro.experiments.results import ExperimentResult
-from repro.sched.fifo import FIFOScheduler
-from repro.sched.plmtf import PLMTFScheduler
+from repro.experiments.runner import GridRow, run_scheduler_grid
 from repro.traces.events import heterogeneous_config, synchronous_config
 
 UTILIZATIONS = (0.5, 0.6, 0.7, 0.8, 0.9)
 
 
 def run(seed: int = 0, events: int = 30, alpha: int | None = None,
-        utilizations=UTILIZATIONS) -> ExperimentResult:
+        utilizations=UTILIZATIONS, jobs: int | None = None,
+        checkpoint=None, resume: bool = False,
+        listener=None) -> ExperimentResult:
     alpha = alpha if alpha is not None else DEFAULTS.alpha
     result = ExperimentResult(
         name="fig7",
@@ -29,21 +30,30 @@ def run(seed: int = 0, events: int = 30, alpha: int | None = None,
         columns=["target_util", "achieved_util", "event_type",
                  "avg_ect_red%", "tail_ect_red%"],
         params={"seed": seed, "events": events, "alpha": alpha})
+    types = (("heterogeneous", heterogeneous_config()),
+             ("synchronous", synchronous_config()))
+    rows = [
+        GridRow(key=f"util={util}/{type_name}",
+                scenario=Scenario(utilization=util,
+                                  seed=seed + int(util * 100),
+                                  events=events, churn=False,
+                                  event_config=config),
+                schedulers=(
+                    {"kind": "fifo"},
+                    {"kind": "plmtf", "alpha": alpha, "seed": seed + 9},
+                ))
+        for util in utilizations
+        for type_name, config in types
+    ]
+    grid = run_scheduler_grid(rows, jobs=jobs, checkpoint=checkpoint,
+                              resume=resume, listener=listener)
     for util in utilizations:
-        for type_name, config in (("heterogeneous", heterogeneous_config()),
-                                  ("synchronous", synchronous_config())):
-            scenario = Scenario(utilization=util,
-                                seed=seed + int(util * 100),
-                                events=events, churn=False,
-                                event_config=config)
-            metrics = run_schedulers(scenario, [
-                FIFOScheduler(),
-                PLMTFScheduler(alpha=alpha, seed=seed + 9),
-            ])
-            fifo, plmtf = metrics["fifo"], metrics["plmtf"]
+        for type_name, __config in types:
+            row = grid[f"util={util}/{type_name}"]
+            fifo, plmtf = row["fifo"], row["plmtf"]
             result.add_row(
                 target_util=util,
-                achieved_util=round(scenario.achieved_utilization, 2),
+                achieved_util=round(row.achieved_utilization, 2),
                 event_type=type_name,
                 **{"avg_ect_red%": percent_reduction(fifo.average_ect,
                                                      plmtf.average_ect),

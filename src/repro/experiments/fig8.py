@@ -8,18 +8,18 @@ by 20–40% and worst-case by 10–30%, and P-LMTF by 67–83% / 60–74%.
 from __future__ import annotations
 
 from repro.analysis.normalize import percent_reduction
-from repro.experiments.common import DEFAULTS, Scenario, run_schedulers
+from repro.experiments.common import DEFAULTS, Scenario
 from repro.experiments.results import ExperimentResult
-from repro.sched.fifo import FIFOScheduler
-from repro.sched.lmtf import LMTFScheduler
-from repro.sched.plmtf import PLMTFScheduler
+from repro.experiments.runner import GridRow, run_scheduler_grid
 from repro.traces.events import heterogeneous_config
 
 EVENT_COUNTS = (10, 20, 30, 40, 50)
 
 
 def run(seed: int = 0, utilization: float = 0.7, alpha: int | None = None,
-        event_counts=EVENT_COUNTS) -> ExperimentResult:
+        event_counts=EVENT_COUNTS, jobs: int | None = None,
+        checkpoint=None, resume: bool = False,
+        listener=None) -> ExperimentResult:
     alpha = alpha if alpha is not None else DEFAULTS.alpha
     result = ExperimentResult(
         name="fig8",
@@ -29,15 +29,23 @@ def run(seed: int = 0, utilization: float = 0.7, alpha: int | None = None,
                  "lmtf_avg_qd_red%", "plmtf_avg_qd_red%",
                  "lmtf_worst_qd_red%", "plmtf_worst_qd_red%"],
         params={"seed": seed, "utilization": utilization, "alpha": alpha})
+    rows = [
+        GridRow(key=f"events={count}",
+                scenario=Scenario(utilization=utilization,
+                                  seed=seed + count, events=count,
+                                  churn=True,
+                                  event_config=heterogeneous_config()),
+                schedulers=(
+                    {"kind": "fifo"},
+                    {"kind": "lmtf", "alpha": alpha, "seed": seed + 9},
+                    {"kind": "plmtf", "alpha": alpha, "seed": seed + 9},
+                ))
+        for count in event_counts
+    ]
+    grid = run_scheduler_grid(rows, jobs=jobs, checkpoint=checkpoint,
+                              resume=resume, listener=listener)
     for count in event_counts:
-        scenario = Scenario(utilization=utilization, seed=seed + count,
-                            events=count, churn=True,
-                            event_config=heterogeneous_config())
-        metrics = run_schedulers(scenario, [
-            FIFOScheduler(),
-            LMTFScheduler(alpha=alpha, seed=seed + 9),
-            PLMTFScheduler(alpha=alpha, seed=seed + 9),
-        ])
+        metrics = grid[f"events={count}"]
         fifo, lmtf, plmtf = (metrics[n] for n in ("fifo", "lmtf", "plmtf"))
         result.add_row(
             events=count,

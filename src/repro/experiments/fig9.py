@@ -8,24 +8,27 @@ story, not just the averages.
 
 from __future__ import annotations
 
-from repro.experiments.common import DEFAULTS, Scenario, run_schedulers
+from repro.experiments.common import DEFAULTS, Scenario
 from repro.experiments.results import ExperimentResult
-from repro.sched.fifo import FIFOScheduler
-from repro.sched.lmtf import LMTFScheduler
-from repro.sched.plmtf import PLMTFScheduler
+from repro.experiments.runner import GridRow, run_scheduler_grid
 from repro.traces.events import heterogeneous_config
 
 
 def run(seed: int = 0, events: int = 30, utilization: float = 0.7,
-        alpha: int | None = None) -> ExperimentResult:
+        alpha: int | None = None, jobs: int | None = None,
+        checkpoint=None, resume: bool = False,
+        listener=None) -> ExperimentResult:
     alpha = alpha if alpha is not None else DEFAULTS.alpha
     scenario = Scenario(utilization=utilization, seed=seed, events=events,
                         churn=True, event_config=heterogeneous_config())
-    metrics = run_schedulers(scenario, [
-        FIFOScheduler(),
-        LMTFScheduler(alpha=alpha, seed=seed + 9),
-        PLMTFScheduler(alpha=alpha, seed=seed + 9),
-    ])
+    grid = run_scheduler_grid([
+        GridRow(key="run", scenario=scenario, schedulers=(
+            {"kind": "fifo"},
+            {"kind": "lmtf", "alpha": alpha, "seed": seed + 9},
+            {"kind": "plmtf", "alpha": alpha, "seed": seed + 9},
+        )),
+    ], jobs=jobs, checkpoint=checkpoint, resume=resume, listener=listener)
+    metrics = grid["run"]
     fifo, lmtf, plmtf = (metrics[n] for n in ("fifo", "lmtf", "plmtf"))
     result = ExperimentResult(
         name="fig9",

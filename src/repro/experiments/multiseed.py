@@ -6,16 +6,20 @@ the same FIFO/LMTF/P-LMTF comparison across independent seeds (independent
 background, events, churn and sampling) and reports each reduction as
 ``mean ± stdev`` with a 95% interval, using
 :mod:`repro.analysis.stats`.
+
+Trials are seed-isolated and embarrassingly parallel: with ``jobs=N`` the
+(trial, scheduler) cells fan out through
+:mod:`repro.experiments.runner`, checkpointing each completed cell so a
+killed sweep resumes with ``resume=True`` instead of recomputing. Merged
+results are byte-identical whatever ``jobs`` is.
 """
 
 from __future__ import annotations
 
 from repro.analysis.stats import reduction_summary
-from repro.experiments.common import DEFAULTS, Scenario, run_schedulers
+from repro.experiments.common import DEFAULTS, Scenario
 from repro.experiments.results import ExperimentResult
-from repro.sched.fifo import FIFOScheduler
-from repro.sched.lmtf import LMTFScheduler
-from repro.sched.plmtf import PLMTFScheduler
+from repro.experiments.runner import GridRow, run_scheduler_grid
 from repro.traces.events import heterogeneous_config
 
 #: (metric attribute, human label) pairs reported per scheduler.
@@ -28,29 +32,50 @@ METRICS = (
 )
 
 
+def trial_seed(seed: int, trial: int) -> int:
+    """Deterministic seed derivation: trial *i* uses ``seed + 1000 * i``,
+    spacing trials far enough apart that their derived component seeds
+    (background, events, churn, sampling offsets) never collide."""
+    return seed + 1000 * trial
+
+
 def fig6_with_spread(seed: int = 0, events: int = 30,
                      utilization: float = 0.7, alpha: int | None = None,
-                     seeds: int = 3) -> ExperimentResult:
+                     seeds: int = 3, jobs: int | None = None,
+                     checkpoint=None, resume: bool = False,
+                     listener=None) -> ExperimentResult:
     """The Fig. 6 30-event comparison across ``seeds`` independent trials.
 
     Args:
-        seed: base seed; trial *i* uses ``seed + 1000 * i``.
+        seed: base seed; trial *i* uses :func:`trial_seed`.
         seeds: number of independent trials (>= 1).
+        jobs: fan (trial, scheduler) cells out to this many worker
+            processes; ``None`` keeps the historical in-process path.
+        checkpoint: JSONL path persisting completed cells.
+        resume: reuse completed cells from ``checkpoint``.
+        listener: :class:`~repro.experiments.runner.SweepListener` hooks.
     """
     if seeds < 1:
         raise ValueError("need at least one seed")
     alpha = alpha if alpha is not None else DEFAULTS.alpha
+    rows = []
+    for trial in range(seeds):
+        tseed = trial_seed(seed, trial)
+        rows.append(GridRow(
+            key=f"trial={trial}",
+            scenario=Scenario(utilization=utilization, seed=tseed,
+                              events=events, churn=True,
+                              event_config=heterogeneous_config()),
+            schedulers=(
+                {"kind": "fifo"},
+                {"kind": "lmtf", "alpha": alpha, "seed": tseed + 9},
+                {"kind": "plmtf", "alpha": alpha, "seed": tseed + 9},
+            )))
+    grid = run_scheduler_grid(rows, jobs=jobs, checkpoint=checkpoint,
+                              resume=resume, listener=listener)
     runs: dict[str, list] = {"fifo": [], "lmtf": [], "plmtf": []}
     for trial in range(seeds):
-        trial_seed = seed + 1000 * trial
-        scenario = Scenario(utilization=utilization, seed=trial_seed,
-                            events=events, churn=True,
-                            event_config=heterogeneous_config())
-        metrics = run_schedulers(scenario, [
-            FIFOScheduler(),
-            LMTFScheduler(alpha=alpha, seed=trial_seed + 9),
-            PLMTFScheduler(alpha=alpha, seed=trial_seed + 9),
-        ])
+        metrics = grid[f"trial={trial}"]
         for name in runs:
             runs[name].append(metrics[name])
 

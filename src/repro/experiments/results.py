@@ -42,9 +42,27 @@ class ExperimentResult:
         return json.dumps(payload, indent=2, default=str)
 
     def save(self, path) -> None:
-        """Write :meth:`to_json` to ``path``."""
+        """Write :meth:`to_json` to ``path`` atomically — a crashed or
+        killed run never leaves a truncated artifact behind."""
+        from repro.core.ioutil import atomic_write_text
+        atomic_write_text(path, self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        import json
+        payload = json.loads(text)
+        return cls(name=payload["name"], title=payload["title"],
+                   columns=list(payload["columns"]),
+                   rows=list(payload.get("rows", [])),
+                   notes=list(payload.get("notes", [])),
+                   params=dict(payload.get("params", {})))
+
+    @classmethod
+    def load(cls, path) -> "ExperimentResult":
+        """Read a result previously written by :meth:`save`."""
         from pathlib import Path
-        Path(path).write_text(self.to_json())
+        return cls.from_json(Path(path).read_text())
 
     def to_table(self) -> str:
         """Render as an aligned ASCII table (via :mod:`repro.analysis`)."""

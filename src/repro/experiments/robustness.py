@@ -15,6 +15,14 @@ import random
 
 from repro.analysis.normalize import percent_reduction
 from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import (
+    Cell,
+    GridRow,
+    run_cells,
+    run_scheduler_grid,
+    use_runner,
+)
+from repro.sched import build_scheduler, scheduler_name
 from repro.network.routing.provider import PathProvider
 from repro.network.topology.base import Topology
 from repro.network.topology.jellyfish import JellyfishTopology
@@ -67,9 +75,30 @@ def _run_all(topology: Topology, seed: int, events: int,
     return results
 
 
+def topology_cell(topology: str, seed: int, events: int,
+                  utilization: float, scheduler: dict) -> dict:
+    """Worker: one scheduler on one named alternative fabric.
+
+    ``topology`` must name an entry of :data:`TOPOLOGY_BUILDERS` — builder
+    callables cannot cross a process boundary, so custom topologies only
+    run on the in-process path.
+    """
+    try:
+        build = TOPOLOGY_BUILDERS[topology]
+    except KeyError:
+        raise ValueError(f"unknown topology {topology!r}; workers only "
+                         f"know {sorted(TOPOLOGY_BUILDERS)}") from None
+    metrics = _run_all(build(), seed, events, utilization,
+                       [build_scheduler(scheduler)])
+    (run,) = metrics.values()
+    return {"metrics": run.to_dict()}
+
+
 def topology_sweep(seed: int = 0, events: int = 20,
                    utilization: float = 0.6,
-                   topologies=None) -> ExperimentResult:
+                   topologies=None, jobs: int | None = None,
+                   checkpoint=None, resume: bool = False,
+                   listener=None) -> ExperimentResult:
     """LMTF/P-LMTF vs FIFO on non-Fat-Tree fabrics."""
     builders = topologies if topologies is not None else TOPOLOGY_BUILDERS
     result = ExperimentResult(
@@ -79,12 +108,24 @@ def topology_sweep(seed: int = 0, events: int = 20,
         columns=["topology", "lmtf_avg_ect_red%", "plmtf_avg_ect_red%",
                  "plmtf_tail_ect_red%", "plmtf_qd_red%"],
         params={"seed": seed, "events": events})
-    for name, build in builders.items():
-        metrics = _run_all(build(), seed, events, utilization, [
-            FIFOScheduler(),
-            LMTFScheduler(alpha=4, seed=seed + 9),
-            PLMTFScheduler(alpha=4, seed=seed + 9),
-        ])
+    if use_runner(jobs, checkpoint, resume):
+        if topologies is not None:
+            raise ValueError(
+                "custom topology builders cannot be shipped to worker "
+                "processes; drop jobs/checkpoint/resume or use the "
+                "built-in TOPOLOGY_BUILDERS")
+        rows = _topology_grid(seed, events, utilization, jobs=jobs,
+                              checkpoint=checkpoint, resume=resume,
+                              listener=listener)
+    else:
+        rows = {}
+        for name, build in builders.items():
+            rows[name] = _run_all(build(), seed, events, utilization, [
+                FIFOScheduler(),
+                LMTFScheduler(alpha=4, seed=seed + 9),
+                PLMTFScheduler(alpha=4, seed=seed + 9),
+            ])
+    for name, metrics in rows.items():
         fifo = metrics["fifo"]
         result.add_row(
             topology=name,
@@ -102,16 +143,54 @@ def topology_sweep(seed: int = 0, events: int = 20,
     return result
 
 
+def _topology_grid(seed: int, events: int, utilization: float, jobs,
+                   checkpoint, resume, listener) -> dict:
+    """Fan the (topology, scheduler) grid out through the cell runner."""
+    from repro.sim.metrics import RunMetrics
+    schedulers = (
+        {"kind": "fifo"},
+        {"kind": "lmtf", "alpha": 4, "seed": seed + 9},
+        {"kind": "plmtf", "alpha": 4, "seed": seed + 9},
+    )
+    cells = []
+    labels = []
+    for name in TOPOLOGY_BUILDERS:
+        for sched in schedulers:
+            sname = scheduler_name(sched)
+            cells.append(Cell(
+                key=f"{name}/{sname}",
+                fn="repro.experiments.robustness:topology_cell",
+                params={"topology": name, "seed": seed, "events": events,
+                        "utilization": utilization,
+                        "scheduler": dict(sched)}))
+            labels.append((name, sname))
+    outcomes = run_cells(cells, jobs=jobs or 1, checkpoint=checkpoint,
+                         resume=resume, listener=listener)
+    merged: dict[str, dict] = {}
+    for cell, (name, sname) in zip(cells, labels):
+        merged.setdefault(name, {})[sname] = RunMetrics.from_dict(
+            outcomes[cell.key].value["metrics"])
+    return merged
+
+
 def oracle_comparison(seed: int = 0, events: int = 30,
-                      utilization: float = 0.7) -> ExperimentResult:
+                      utilization: float = 0.7, jobs: int | None = None,
+                      checkpoint=None, resume: bool = False,
+                      listener=None) -> ExperimentResult:
     """LMTF vs perfect-knowledge shortest-event-first baselines."""
-    from repro.experiments.common import Scenario, run_schedulers
+    from repro.experiments.common import Scenario
     scenario = Scenario(utilization=utilization, seed=seed, events=events,
                         churn=True, event_config=heterogeneous_config())
-    queue = scenario.generate_events()
-    schedulers = [FIFOScheduler(), LMTFScheduler(alpha=4, seed=seed + 9)]
-    schedulers += [OracleSJFScheduler(signal=s) for s in SIGNALS]
-    metrics = run_schedulers(scenario, schedulers, events=queue)
+    queue = (None if use_runner(jobs, checkpoint, resume)
+             else scenario.generate_events())
+    specs = [{"kind": "fifo"},
+             {"kind": "lmtf", "alpha": 4, "seed": seed + 9}]
+    specs += [{"kind": "oracle-sjf", "signal": s} for s in SIGNALS]
+    grid = run_scheduler_grid(
+        [GridRow(key="run", scenario=scenario, schedulers=tuple(specs),
+                 events=queue)],
+        jobs=jobs, checkpoint=checkpoint, resume=resume, listener=listener)
+    metrics = grid["run"].metrics
     fifo = metrics["fifo"]
     result = ExperimentResult(
         name="robustness-oracle",

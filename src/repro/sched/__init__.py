@@ -1,1 +1,57 @@
-"""Subpackage of repro."""
+"""Scheduling policies and the spec-based scheduler factory.
+
+Experiment cells that cross process boundaries cannot carry scheduler
+*objects*, so the parallel runner describes schedulers as JSON-serializable
+spec dicts — ``{"kind": "lmtf", "alpha": 4, "seed": 9}`` — and rebuilds
+them in the worker with :func:`build_scheduler`. The sequential experiment
+paths use the same factory so both paths construct identical policies.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.flowlevel import FlowLevelScheduler
+from repro.sched.lmtf import LMTFScheduler
+from repro.sched.oracle import OracleSJFScheduler
+from repro.sched.plmtf import PLMTFScheduler
+
+#: Spec ``kind`` -> scheduler class. The kind is the constructor's identity,
+#: not necessarily the instance's ``name`` (oracles embed their signal).
+SCHEDULER_KINDS = {
+    "fifo": FIFOScheduler,
+    "lmtf": LMTFScheduler,
+    "plmtf": PLMTFScheduler,
+    "flow-level": FlowLevelScheduler,
+    "oracle-sjf": OracleSJFScheduler,
+}
+
+
+def build_scheduler(spec: dict) -> Scheduler:
+    """Instantiate a scheduler from a spec dict.
+
+    Args:
+        spec: ``{"kind": <SCHEDULER_KINDS key>, **constructor_kwargs}``.
+
+    Raises:
+        ValueError: unknown ``kind`` or missing ``kind`` key.
+    """
+    kwargs = dict(spec)
+    kind = kwargs.pop("kind", None)
+    if kind not in SCHEDULER_KINDS:
+        raise ValueError(f"unknown scheduler kind {kind!r}; pick one of "
+                         f"{sorted(SCHEDULER_KINDS)}")
+    return SCHEDULER_KINDS[kind](**kwargs)
+
+
+def scheduler_name(spec: dict) -> str:
+    """The ``name`` the scheduler built from ``spec`` reports in metrics."""
+    return build_scheduler(spec).name
+
+
+__all__ = [
+    "SCHEDULER_KINDS",
+    "Scheduler",
+    "build_scheduler",
+    "scheduler_name",
+]

@@ -5,6 +5,13 @@ completions, background churn and scheduling rounds. This engine is a
 classic calendar queue: a heap of timestamped callbacks with a monotone
 clock, FIFO tie-breaking via a sequence number, and O(log n) cancellation
 through tombstones.
+
+Tombstones are bounded: the engine counts them, answers :attr:`pending`
+from the count in O(1) instead of rescanning the heap, and compacts the
+heap (dropping every tombstone in one pass) whenever cancelled entries
+outnumber live ones. Compaction preserves the pop order exactly — entries
+are totally ordered by ``(time, seq)`` — so cancel/respawn churn cannot
+change simulation results, only keep the heap small.
 """
 
 from __future__ import annotations
@@ -15,6 +22,9 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.exceptions import SimulationError
+
+#: Never bother compacting heaps smaller than this; the rescan is free.
+_COMPACT_MIN_SIZE = 64
 
 
 @dataclass(order=True)
@@ -28,10 +38,11 @@ class _ScheduledEvent:
 class EventHandle:
     """Opaque handle returned by :meth:`SimulationEngine.schedule`."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_engine")
 
-    def __init__(self, entry: _ScheduledEvent):
+    def __init__(self, entry: _ScheduledEvent, engine: "SimulationEngine"):
         self._entry = entry
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -42,8 +53,10 @@ class EventHandle:
         return self._entry.cancelled
 
     def cancel(self) -> None:
-        """Mark the event so it will be skipped when popped."""
-        self._entry.cancelled = True
+        """Mark the event so it will be skipped when popped (idempotent)."""
+        if not self._entry.cancelled:
+            self._entry.cancelled = True
+            self._engine._note_cancelled()
 
 
 class SimulationEngine:
@@ -54,6 +67,7 @@ class SimulationEngine:
         self._heap: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -63,7 +77,7 @@ class SimulationEngine:
     @property
     def pending(self) -> int:
         """Number of scheduled (non-cancelled) future events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
 
     @property
     def processed(self) -> int:
@@ -84,7 +98,7 @@ class SimulationEngine:
         entry = _ScheduledEvent(time=time, seq=next(self._seq),
                                 callback=callback)
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def schedule_after(self, delay: float,
                        callback: Callable[[], None]) -> EventHandle:
@@ -98,6 +112,7 @@ class SimulationEngine:
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = entry.time
             self._processed += 1
@@ -132,7 +147,24 @@ class SimulationEngine:
                     f"engine executed {executed} events without draining; "
                     f"likely a scheduling livelock")
 
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (len(self._heap) >= _COMPACT_MIN_SIZE
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone in one pass and restore the heap invariant.
+
+        ``(time, seq)`` totally orders entries, so re-heapifying the live
+        subset pops in exactly the order the tombstoned heap would have.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
     def _peek(self) -> _ScheduledEvent | None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0] if self._heap else None

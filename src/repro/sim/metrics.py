@@ -103,11 +103,30 @@ class RunMetrics:
         data["probe_cache_hit_rate"] = self.probe_cache_hit_rate
         return data
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunMetrics":
+        """Rebuild from a :meth:`to_dict` payload, exactly.
+
+        Floats survive a JSON round-trip bit-for-bit (``json`` serializes
+        them via ``repr``), so ``from_dict(json.loads(json.dumps(
+        m.to_dict())))`` equals ``m`` — the property the parallel experiment
+        runner's checkpoint merge relies on.
+        """
+        payload = dict(data)
+        payload.pop("probe_cache_hit_rate", None)  # derived property
+        for key in ("per_event_ect", "per_event_delay", "per_event_cost"):
+            payload[key] = tuple(payload[key])
+        return cls(**payload)
+
     def summary(self) -> str:
-        """One-line human-readable digest."""
+        """One-line human-readable digest.
+
+        ``total_cost`` is migrated traffic *volume* (Mbit), not a rate —
+        see the unit conventions in :mod:`repro.core.flow`.
+        """
         return (f"{self.scheduler}: events={self.event_count} "
                 f"avgECT={self.average_ect:.2f}s tailECT={self.tail_ect:.2f}s "
-                f"cost={self.total_cost:.0f}Mbps "
+                f"cost={self.total_cost:.0f}Mbit "
                 f"avgQD={self.average_queuing_delay:.2f}s "
                 f"planT={self.total_plan_time:.3f}s rounds={self.rounds}")
 

@@ -104,7 +104,13 @@ class TraceLog(SimulationListener):
         return "\n".join(record.to_json() for record in self.records)
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_jsonl() + "\n")
+        """Write the log as JSON Lines, atomically.
+
+        An interrupt mid-save leaves the previous file intact instead of a
+        truncated JSONL that downstream tooling would trust.
+        """
+        from repro.core.ioutil import atomic_write_text
+        atomic_write_text(path, self.to_jsonl() + "\n")
 
     def __len__(self) -> int:
         return len(self.records)

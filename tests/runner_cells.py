@@ -1,0 +1,44 @@
+"""Cheap cell functions for exercising the experiment runner.
+
+Workers resolve cells by ``"module:function"`` reference, so these live in
+an importable module (tests put this directory on ``sys.path``; forked
+workers inherit it) instead of inline in the test files.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+
+def echo(value):
+    """Return the input — the identity cell."""
+    return {"value": value, "pid": os.getpid()}
+
+
+def boom(message: str = "kaboom"):
+    """Always fail."""
+    raise RuntimeError(message)
+
+
+def flaky(scratch: str, succeed_on: int = 2):
+    """Fail until attempt ``succeed_on``, using a scratch dir as the
+    cross-process attempt counter."""
+    marker = Path(scratch) / "attempts"
+    attempts = int(marker.read_text()) + 1 if marker.exists() else 1
+    marker.write_text(str(attempts))
+    if attempts < succeed_on:
+        raise RuntimeError(f"flaky attempt {attempts}")
+    return {"attempts": attempts}
+
+
+def nap(seconds: float):
+    """Sleep longer than any reasonable test timeout."""
+    time.sleep(seconds)
+    return "overslept"
+
+
+def record_pid():
+    """Report which process ran the cell."""
+    return os.getpid()

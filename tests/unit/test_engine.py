@@ -82,6 +82,83 @@ class TestCancellation:
         assert engine.pending == 1
 
 
+class TestTombstoneCompaction:
+    def test_pending_is_counter_not_scan(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule_at(float(i), lambda: None)
+                   for i in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        assert engine.pending == 6
+        # cancelling twice must not double-count the tombstone
+        handles[0].cancel()
+        assert engine.pending == 6
+
+    def test_cancel_respawn_churn_bounds_heap(self):
+        """Heavy cancel/respawn churn must not accumulate tombstones.
+
+        This is the leak the old engine had: every (cancel, reschedule)
+        pair grew the heap by one dead entry for the whole run. With
+        compaction, tombstones can never outnumber live entries once the
+        heap is past the compaction floor.
+        """
+        engine = SimulationEngine()
+        live = [engine.schedule_at(float(i) + 1.0, lambda: None)
+                for i in range(200)]
+        for round_no in range(50):
+            for i, handle in enumerate(live):
+                handle.cancel()
+                live[i] = engine.schedule_at(
+                    handle.time + 1.0, lambda: None)
+            assert engine.pending == 200
+            assert len(engine._heap) <= 2 * 200 + 1
+        # 10k cancels happened; without compaction the heap would hold
+        # ~10200 entries here.
+
+    def test_compaction_preserves_pop_order(self):
+        noisy = SimulationEngine()
+        clean = SimulationEngine()
+        noisy_order, clean_order = [], []
+        times = [(i * 7919) % 500 / 10.0 for i in range(400)]
+        doomed = []
+        for t in times:
+            noisy.schedule_at(t, lambda t=t: noisy_order.append(t))
+            clean.schedule_at(t, lambda t=t: clean_order.append(t))
+            # interleave disposable events and cancel them, forcing
+            # several compactions mid-build
+            doomed.append(noisy.schedule_at(t + 0.05, lambda: None))
+            if len(doomed) >= 3:
+                doomed.pop(0).cancel()
+                doomed.pop(0).cancel()
+        for handle in doomed:
+            handle.cancel()
+        noisy.run()
+        clean.run()
+        assert noisy_order == clean_order
+
+    def test_small_heaps_skip_compaction(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule_at(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # below the compaction floor the tombstones just sit there
+        assert engine.pending == 0
+        assert len(engine._heap) == 10
+        assert engine.step() is False
+        assert len(engine._heap) == 0
+
+    def test_tombstones_popped_by_step_update_counter(self):
+        engine = SimulationEngine()
+        h1 = engine.schedule_at(1.0, lambda: None)
+        seen = []
+        engine.schedule_at(2.0, lambda: seen.append(engine.now))
+        h1.cancel()
+        engine.run()
+        assert seen == [2.0]
+        assert engine.pending == 0
+        assert engine._cancelled == 0
+
+
 class TestRun:
     def test_step_returns_false_when_empty(self):
         assert SimulationEngine().step() is False

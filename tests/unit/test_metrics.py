@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.sim.metrics import EventRecord, MetricsCollector, percentile
+from repro.sim.metrics import (
+    EventRecord,
+    MetricsCollector,
+    RunMetrics,
+    percentile,
+)
 
 
 class TestPercentile:
@@ -119,3 +124,44 @@ class TestCollector:
         # "early" arrived first, so it leads the per-event series
         assert metrics.per_event_ect[0] == pytest.approx(2.0)
         assert metrics.per_event_ect[1] == pytest.approx(3.0)
+
+
+class TestRunMetricsSerialization:
+    def _metrics(self):
+        collector = MetricsCollector("test-sched")
+        collector.on_enqueue("U1", 0.0, 2)
+        collector.on_enqueue("U2", 0.1, 3)
+        collector.on_round(0.25, cache_hits=3, cache_misses=1,
+                           cache_invalidations=1)
+        collector.on_exec_start("U1", 1.0)
+        collector.on_admission("U1", cost=12.5, migrations=2)
+        collector.on_completion("U1", 2.5)
+        collector.on_exec_start("U2", 2.5)
+        collector.on_admission("U2", cost=0.125, migrations=0)
+        collector.on_completion("U2", 4.0)
+        return collector.finalize()
+
+    def test_summary_reports_cost_as_volume(self):
+        summary = self._metrics().summary()
+        # total_cost is migrated traffic volume (Mbit), not a rate
+        assert "Mbit " in summary or summary.rstrip().endswith("Mbit")
+        assert "Mbps" not in summary
+        assert "Mbit/s" not in summary
+
+    def test_from_dict_is_exact_inverse_of_to_dict(self):
+        import json
+        metrics = self._metrics()
+        assert RunMetrics.from_dict(metrics.to_dict()) == metrics
+        # and exact through a JSON round-trip (repr-based float encoding)
+        rebuilt = RunMetrics.from_dict(json.loads(
+            json.dumps(metrics.to_dict())))
+        assert rebuilt == metrics
+        assert rebuilt.total_cost == metrics.total_cost
+        assert rebuilt.per_event_ect == metrics.per_event_ect
+
+    def test_to_dict_hit_rate_is_derived_not_stored(self):
+        metrics = self._metrics()
+        payload = metrics.to_dict()
+        assert payload["probe_cache_hit_rate"] == pytest.approx(0.75)
+        rebuilt = RunMetrics.from_dict(payload)
+        assert rebuilt.probe_cache_hit_rate == pytest.approx(0.75)

@@ -170,6 +170,93 @@ class TestQueueBehaviour:
         assert all(len(r.admitted_events) == 1 for r in sim.rounds)
 
 
+class TestStallFallbackUnit:
+    """Direct tests of ``_should_fallback`` / ``_fallback_decision``."""
+
+    def _stalled_sim(self, stall_fallback=True):
+        """A simulator whose queue head is permanently infeasible: a
+        duration-less hog leaves 5 Mbit/s on the a->s1 link."""
+        net, provider = diamond_setup()
+        net.place(ab_flow("hog", 95.0, duration=None),
+                  ("a", "s1", "top", "s2", "b"))
+        sim = UpdateSimulator(
+            net, provider, FIFOScheduler(),
+            config=SimulationConfig(seed=1, stall_fallback=stall_fallback))
+        return sim
+
+    def _stalled_context(self, sim):
+        from repro.sched.base import QueuedEvent, SchedulingContext
+        blocked = make_event([ab_flow("big", 50.0, 1.0)], label="blocked")
+        small = make_event([cd_flow("tiny", 2.0, 1.0)], label="small")
+        queue = [QueuedEvent(blocked, seq=0), QueuedEvent(small, seq=1)]
+        return SchedulingContext(now=0.0, queue=queue,
+                                 planner=sim._planner,
+                                 network=sim._network, rng=sim._rng)
+
+    def test_should_fallback_only_when_waiting_cannot_help(self):
+        sim = self._stalled_sim()
+        # idle: nothing outstanding, empty engine queue -> fall back
+        assert sim._should_fallback()
+
+    def test_no_fallback_while_engine_has_pending_events(self):
+        sim = self._stalled_sim()
+        # a future arrival/churn event could unblock the head: keep waiting
+        sim._engine.schedule_at(1.0, lambda: None)
+        assert not sim._should_fallback()
+
+    def test_no_fallback_while_round_outstanding(self):
+        sim = self._stalled_sim()
+        sim._round_outstanding = 1
+        assert not sim._should_fallback()
+
+    def test_no_fallback_when_disabled(self):
+        sim = self._stalled_sim(stall_fallback=False)
+        assert not sim._should_fallback()
+
+    def test_fallback_admits_first_feasible_in_arrival_order(self):
+        from repro.sched.base import RoundDecision
+        sim = self._stalled_sim()
+        ctx = self._stalled_context(sim)
+        decision = sim._fallback_decision(ctx, RoundDecision())
+        assert [a.queued.event.label for a in decision.admissions] \
+            == ["small"]
+        assert decision.admissions[0].plan.feasible
+
+    def test_fallback_carries_prior_ops_and_cache_counters(self):
+        from repro.sched.base import RoundDecision
+        sim = self._stalled_sim()
+        ctx = self._stalled_context(sim)
+        prior = RoundDecision(planning_ops=7, cache_hits=3,
+                              cache_misses=2, cache_invalidations=1)
+        decision = sim._fallback_decision(ctx, prior)
+        baseline = sim._fallback_decision(ctx, RoundDecision())
+        # the scheduler's (empty) decision already cost planning work; the
+        # fallback's own probes add on top of it
+        assert decision.planning_ops == baseline.planning_ops + 7
+        assert decision.planning_ops > 7
+        assert (decision.cache_hits, decision.cache_misses,
+                decision.cache_invalidations) == (3, 2, 1)
+
+    def test_fallback_with_all_infeasible_queue_stays_empty(self):
+        from repro.sched.base import QueuedEvent, RoundDecision, \
+            SchedulingContext
+        sim = self._stalled_sim()
+        big1 = make_event([ab_flow("big1", 50.0, 1.0)])
+        big2 = make_event([ab_flow("big2", 60.0, 1.0)])
+        ctx = SchedulingContext(
+            now=0.0,
+            queue=[QueuedEvent(big1, seq=0), QueuedEvent(big2, seq=1)],
+            planner=sim._planner, network=sim._network, rng=sim._rng)
+        prior = RoundDecision(planning_ops=4, cache_hits=1,
+                              cache_misses=1, cache_invalidations=0)
+        decision = sim._fallback_decision(ctx, prior)
+        assert decision.empty
+        # every queued event was probed, each adding ops beyond the prior's
+        assert decision.planning_ops > 4
+        assert (decision.cache_hits, decision.cache_misses,
+                decision.cache_invalidations) == (1, 1, 0)
+
+
 class TestSetupBarrier:
     def test_ect_measured_at_setup(self):
         timing = TimingModel(rule_install_s=0.5, migration_rule_s=0.0,

@@ -94,3 +94,30 @@ class TestListenerInterface:
         payload = json.loads(record.to_json())
         assert payload["kind"] == "x"
         assert payload["a"] == 1
+
+
+class TestAtomicSave:
+    def test_save_replaces_atomically(self, tmp_path):
+        log, __ = run_with_log()
+        target = tmp_path / "trace.jsonl"
+        target.write_text("stale contents that must fully disappear\n")
+        log.save(target)
+        lines = target.read_text().splitlines()
+        assert "stale" not in lines[0]
+        assert all(json.loads(line) for line in lines)
+        # no temp-file droppings left behind
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
+    def test_save_failure_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        import repro.core.ioutil as ioutil
+        log, __ = run_with_log()
+        real_replace = ioutil.os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(ioutil.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            log.save(tmp_path / "trace.jsonl")
+        monkeypatch.setattr(ioutil.os, "replace", real_replace)
+        assert list(tmp_path.iterdir()) == []
