@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Snapshot the hot-path microbenchmarks into a ``BENCH_<pr>.json`` file.
+
+Each PR that touches the planner/network hot path lands with a benchmark
+snapshot at the repo root, so the performance trajectory is part of the
+history (``BENCH_3.json`` is the integer-indexed kernel PR). A snapshot
+records, per benchmark, the **median** in nanoseconds plus any
+``extra_info`` the benchmark attached (the probe-cache benchmarks report
+their hit rate), and enough machine context to judge comparability.
+Optimisation PRs may annotate entries with ``before_ns``/``speedup``
+measured on the same machine; ``median_ns`` is always the landed code's
+median and is what the ``--check`` gate compares against.
+
+Usage::
+
+    # Write a fresh snapshot for PR N at the repo root:
+    PYTHONPATH=src python scripts/bench_snapshot.py --pr 3
+
+    # CI regression gate: re-run the benchmarks and fail when
+    # test_event_cost_probe's median exceeds TOLERANCE x the committed
+    # baseline (the newest BENCH_*.json, or --baseline FILE):
+    PYTHONPATH=src python scripts/bench_snapshot.py --check
+
+The gate watches a single benchmark on purpose: ``test_event_cost_probe``
+is the planner's full probe loop — the operation LMTF performs ``α+1``
+times per round — so any hot-path complexity regression surfaces there,
+while the 2x tolerance absorbs shared-runner noise on the sub-millisecond
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = "benchmarks/test_core_microbench.py"
+GATE_BENCHMARK = "test_event_cost_probe"
+TOLERANCE = 2.0
+
+
+def run_benchmarks() -> dict:
+    """Run the microbenchmark suite, returning pytest-benchmark's JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        out = Path(handle.name)
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", BENCH_FILE, "-q",
+             f"--benchmark-json={out}"],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit(f"benchmark run failed ({proc.returncode})")
+        return json.loads(out.read_text())
+    finally:
+        out.unlink(missing_ok=True)
+
+
+def snapshot(raw: dict) -> dict:
+    """Reduce a pytest-benchmark JSON dump to the committed snapshot form."""
+    benchmarks = {}
+    for bench in raw["benchmarks"]:
+        entry = {"median_ns": round(bench["stats"]["median"] * 1e9)}
+        if bench.get("extra_info"):
+            entry["extra_info"] = bench["extra_info"]
+        benchmarks[bench["name"]] = entry
+    return {
+        "suite": BENCH_FILE,
+        "machine": {
+            "python": platform.python_version(),
+            "system": platform.system(),
+            "machine": platform.machine(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def latest_baseline() -> Path:
+    """The newest committed ``BENCH_<pr>.json`` by PR number."""
+    def pr_number(path: Path) -> int:
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        return int(match.group(1)) if match else -1
+
+    candidates = sorted(REPO_ROOT.glob("BENCH_*.json"), key=pr_number)
+    if not candidates:
+        raise SystemExit("no BENCH_*.json baseline at the repo root")
+    return candidates[-1]
+
+
+def check(baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    base = baseline["benchmarks"].get(GATE_BENCHMARK)
+    if base is None:
+        raise SystemExit(f"{baseline_path.name} has no {GATE_BENCHMARK}")
+    base_ns = base["median_ns"]
+    current = snapshot(run_benchmarks())["benchmarks"][GATE_BENCHMARK]
+    current_ns = current["median_ns"]
+    ratio = current_ns / base_ns
+    print(f"{GATE_BENCHMARK}: baseline {base_ns} ns "
+          f"({baseline_path.name}), current {current_ns} ns "
+          f"-> {ratio:.2f}x")
+    if ratio > TOLERANCE:
+        print(f"FAIL: median regressed beyond {TOLERANCE}x tolerance")
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--pr", type=int, help="PR number; writes "
+                        "BENCH_<pr>.json at the repo root")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate against the committed baseline")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="explicit baseline file for --check")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="override the snapshot output path")
+    args = parser.parse_args()
+
+    if args.check:
+        return check(args.baseline or latest_baseline())
+    if args.pr is None and args.output is None:
+        parser.error("pass --pr N (or --output FILE) to write a snapshot, "
+                     "or --check to gate")
+    out = args.output or REPO_ROOT / f"BENCH_{args.pr}.json"
+    data = snapshot(run_benchmarks())
+    out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -139,8 +139,20 @@ class Placement:
 
     @property
     def links(self) -> tuple[tuple[str, str], ...]:
-        """The directed links traversed by the path."""
-        return tuple(zip(self.path[:-1], self.path[1:]))
+        """The directed links traversed by the path.
+
+        Interned candidate paths carry their links precomputed; for plain
+        node tuples the zip is computed once and cached on the instance —
+        placements are read far more often than they are created.
+        """
+        links = getattr(self.path, "links", None)
+        if links is not None:
+            return links
+        links = self.__dict__.get("_links")
+        if links is None:
+            links = tuple(zip(self.path[:-1], self.path[1:]))
+            object.__setattr__(self, "_links", links)
+        return links
 
 
 @dataclass

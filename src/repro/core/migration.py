@@ -85,18 +85,22 @@ class MigrationPlanner:
     def congested_links(self, state: NetworkState, path: Sequence[str],
                         demand: float) -> list[LinkId]:
         """The set ``E^c_{f_a}`` of Definition 1 for ``path``/``demand``."""
-        return [(u, v) for u, v in path_links(path)
-                if state.residual(u, v) + EPS < demand]
+        return [link for link, res in zip(path_links(path),
+                                          state.path_residuals(path))
+                if res + EPS < demand]
 
     def make_room(self, state: NetworkState, flow: Flow,
                   path: Sequence[str], protected: frozenset[str],
-                  rng: random.Random) -> tuple[list[Migration], int] | None:
+                  rng: random.Random) -> tuple[list[Migration] | None, int]:
         """Migrate existing flows off ``path`` until ``flow`` fits.
 
-        Mutates ``state`` by rerouting the chosen flows. Returns the applied
-        migrations and the number of elementary planning operations, or
-        ``None`` when no migration set exists within the configured budget
-        (the caller then discards its attempt view, so the mutations vanish).
+        Mutates ``state`` by rerouting the chosen flows. Returns
+        ``(migrations, ops)`` — the applied migrations and the number of
+        elementary planning operations performed. ``migrations`` is ``None``
+        when no migration set exists within the configured budget (the
+        caller then discards its attempt view, so the mutations vanish);
+        the ops are still reported so failed attempts charge the planning
+        work they actually did.
 
         Args:
             protected: flow ids that must not be migrated — the flows of the
@@ -105,7 +109,7 @@ class MigrationPlanner:
         """
         migrations: list[Migration] = []
         ops = 0
-        avoid = frozenset(path_links(path))
+        avoid = getattr(path, "link_set", None) or frozenset(path_links(path))
         for _round in range(self._config.max_rounds):
             congested = self.congested_links(state, path, flow.demand)
             ops += len(path) - 1
@@ -113,19 +117,20 @@ class MigrationPlanner:
                 return migrations, ops
             for link in congested:
                 if len(migrations) >= self._config.max_migrations_per_flow:
-                    return None
+                    return None, ops
                 relieved, link_ops = self._relieve_link(
                     state, link, flow.demand, protected, avoid, rng,
                     budget=self._config.max_migrations_per_flow
                     - len(migrations))
                 ops += link_ops
                 if relieved is None:
-                    return None
+                    return None, ops
                 migrations.extend(relieved)
         # Rounds exhausted: if the path is now clear we still succeeded.
+        ops += len(path) - 1
         if not self.congested_links(state, path, flow.demand):
             return migrations, ops
-        return None
+        return None, ops
 
     # -------------------------------------------------------------- internals
 
@@ -196,7 +201,9 @@ class MigrationPlanner:
         own = frozenset((placement.flow.flow_id,))
         for path in self._provider.paths(placement.flow.src,
                                          placement.flow.dst):
-            if link in path_links(path):
+            # Provider paths are interned CandidatePaths: membership tests
+            # run on the precomputed link frozenset.
+            if link in path.link_set:
                 continue
             if state.path_feasible(path, placement.flow.demand, ignore=own):
                 return True
@@ -216,13 +223,13 @@ class MigrationPlanner:
         best_key: tuple | None = None
         for path in self._provider.paths(placement.flow.src,
                                          placement.flow.dst):
-            links = path_links(path)
+            links = path.link_set
             if link in links:
                 continue
             residual = state.path_residual(path, ignore=own)
             if residual + EPS < placement.flow.demand:
                 continue
-            overlaps = bool(avoid.intersection(links)) \
+            overlaps = not avoid.isdisjoint(links) \
                 if self._config.prefer_disjoint else False
             key = (overlaps, -residual, rng.random())
             if best_key is None or key < best_key:

@@ -213,7 +213,10 @@ class EventPlanner:
             else:
                 return None, ops
             # Desired path unusable even with migration: fall through to the
-            # alternate-path search below.
+            # alternate-path search below. The desired path is excluded — it
+            # was just proven infeasible (and its migration attempt failed),
+            # so re-probing it could only repeat that result.
+            paths = [p for p in paths if p is not desired]
 
         ops += len(paths)
         remaining = list(paths)
@@ -256,11 +259,11 @@ class EventPlanner:
                        rng: random.Random) -> tuple[FlowPlan | None, int]:
         """Attempt to make room for ``flow`` on ``path`` via migration."""
         attempt = NetworkView(state)
-        result = self._migration.make_room(attempt, flow, path,
-                                           protected, rng)
-        if result is None:
-            return None, 0
-        migrations, ops = result
+        migrations, ops = self._migration.make_room(attempt, flow, path,
+                                                    protected, rng)
+        if migrations is None:
+            # Failed attempts still charge the planning work they did.
+            return None, ops
         try:
             attempt.place(flow, path)
         except InsufficientBandwidthError:
@@ -290,5 +293,5 @@ class EventPlanner:
     @staticmethod
     def _deficit(state: NetworkState, path, demand: float) -> float:
         """Total bandwidth that migration must free along ``path``."""
-        return sum(max(0.0, demand - state.residual(u, v))
-                   for u, v in path_links(path))
+        return sum(max(0.0, demand - res)
+                   for res in state.path_residuals(path))

@@ -84,7 +84,7 @@ class FailureInjector:
         saved = {}
         for link in links:
             saved[link] = self._network.capacity(*link)
-            self._network._capacity[link] = 0.0
+            self._network._set_capacity(*link, 0.0)
         record = FailureRecord(description=description,
                                failed_links=tuple(links),
                                stranded=tuple(stranded_flows.values()),
@@ -100,7 +100,7 @@ class FailureInjector:
         if record not in self._active:
             raise ValueError(f"failure {record.description!r} is not active")
         for link, capacity in record._saved_capacities.items():
-            self._network._capacity[link] = capacity
+            self._network._set_capacity(*link, capacity)
         self._active.remove(record)
 
     def heal_all(self) -> None:

@@ -28,7 +28,7 @@ Two pieces make that proof sound:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.flow import Flow, Placement
@@ -38,14 +38,31 @@ from repro.network.state import NetworkState
 
 @dataclass(frozen=True)
 class Footprint:
-    """The bounded read/write set of one planning run."""
+    """The bounded read/write set of one planning run.
+
+    ``links`` is the canonical, serialization-friendly representation;
+    ``link_idx`` carries the same links as dense integer indices into the
+    probed network's link table when the recorder ran against an
+    index-backed state, which is what the probe cache validates against
+    (one flat column read per member instead of a string-pair hash). The
+    index field is excluded from equality so footprints compare by content
+    regardless of how they were recorded.
+    """
 
     links: frozenset[LinkId]
     nodes: frozenset[str]
+    link_idx: frozenset[int] | None = field(default=None, compare=False)
 
     def link_versions(self, state: NetworkState) -> dict[LinkId, int]:
         """Snapshot the current versions of every footprint link."""
         return {link: state.link_version(*link) for link in self.links}
+
+    def link_versions_idx(self, state: NetworkState) -> dict[int, int] | None:
+        """Index-keyed version snapshot, or None when not index-recorded."""
+        if self.link_idx is None:
+            return None
+        version = state.link_version_idx
+        return {i: version(i) for i in self.link_idx}
 
     def node_versions(self, state: NetworkState) -> dict[str, int]:
         return {node: state.node_version(node) for node in self.nodes}
@@ -86,7 +103,10 @@ class FootprintRecorder(NetworkState):
 
     def __init__(self, base: NetworkState):
         self._base = base
+        self._table = base.link_table()
         self.read_links: set[LinkId] = set()
+        #: Links recorded by integer index (int-keyed fast-path reads).
+        self.read_idx: set[int] = set()
         self.read_nodes: set[str] = set()
         #: False after a read whose dependencies span the whole state.
         self.bounded = True
@@ -96,11 +116,22 @@ class FootprintRecorder(NetworkState):
         return self._base
 
     def footprint(self) -> Footprint | None:
-        """The recorded footprint, or None when it is unbounded."""
+        """The recorded footprint, or None when it is unbounded.
+
+        String- and index-recorded reads are merged; with an index-backed
+        base the footprint carries both representations.
+        """
         if not self.bounded:
             return None
-        return Footprint(links=frozenset(self.read_links),
-                         nodes=frozenset(self.read_nodes))
+        if self._table is None:
+            return Footprint(links=frozenset(self.read_links),
+                             nodes=frozenset(self.read_nodes))
+        index, ids = self._table.index, self._table.ids
+        link_idx = self.read_idx.union(
+            index[link] for link in self.read_links)
+        return Footprint(links=frozenset(ids[i] for i in link_idx),
+                         nodes=frozenset(self.read_nodes),
+                         link_idx=frozenset(link_idx))
 
     # ----------------------------------------------------------------- reads
 
@@ -119,12 +150,12 @@ class FootprintRecorder(NetworkState):
     def has_flow(self, flow_id: str) -> bool:
         present = self._base.has_flow(flow_id)
         if present:
-            self.read_links.update(self._base.placement(flow_id).links)
+            self._record_placement_links(self._base.placement(flow_id))
         return present
 
     def placement(self, flow_id: str) -> Placement:
         placement = self._base.placement(flow_id)
-        self.read_links.update(placement.links)
+        self._record_placement_links(placement)
         return placement
 
     def flow_ids(self) -> Iterator[str]:
@@ -134,6 +165,40 @@ class FootprintRecorder(NetworkState):
     def links(self) -> Iterable[LinkId]:
         self.bounded = False
         return self._base.links()
+
+    # ------------------------------------------------------- indexed kernel
+    #
+    # Views over the recorder resolve their chain through these, so
+    # int-keyed fast-path reads are recorded exactly like their string-keyed
+    # equivalents (capacity excepted — it is immutable, hence dependency-free).
+
+    def link_table(self):
+        return self._table
+
+    def capacity_col(self):
+        return self._base.capacity_col()
+
+    def capacity_idx(self, i: int) -> float:
+        return self._base.capacity_idx(i)
+
+    def used_idx(self, i: int) -> float:
+        self.read_idx.add(i)
+        return self._base.used_idx(i)
+
+    def flows_idx(self, i: int):
+        self.read_idx.add(i)
+        return self._base.flows_idx(i)
+
+    def link_version_idx(self, i: int) -> int:
+        return self._base.link_version_idx(i)
+
+    def _record_placement_links(self, placement: Placement) -> None:
+        path = placement.path
+        idx = getattr(path, "link_idx", None)
+        if idx is not None and path.table is self._table:
+            self.read_idx.update(idx)
+        else:
+            self.read_links.update(placement.links)
 
     # ------------------------------------------------------------ rule space
 
@@ -168,10 +233,14 @@ class FootprintRecorder(NetworkState):
     # so the recorder stays a faithful NetworkState regardless.
 
     def place(self, flow: Flow, path: Sequence[str]) -> Placement:
-        self.read_links.update(path_links(path))
+        idx = getattr(path, "link_idx", None)
+        if idx is not None and path.table is self._table:
+            self.read_idx.update(idx)
+        else:
+            self.read_links.update(path_links(path))
         return self._base.place(flow, path)
 
     def remove(self, flow_id: str) -> Placement:
         placement = self._base.remove(flow_id)
-        self.read_links.update(placement.links)
+        self._record_placement_links(placement)
         return placement

@@ -7,6 +7,7 @@ capacity, which matches full-duplex datacenter links.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Sequence
 
 LinkId = tuple[str, str]
@@ -17,8 +18,60 @@ LinkId = tuple[str, str]
 EPS = 1e-6
 
 
+class LinkTable:
+    """Dense integer indexing of a graph's directed links.
+
+    The probe hot loop spends most of its time in per-link reads, and
+    ``dict[tuple[str, str]]`` lookups (hash two strings, combine, probe) are
+    the single largest cost. A :class:`LinkTable` assigns every directed
+    link an integer index once, in the graph's edge-insertion order, so the
+    kernel can store capacity/usage/version in flat columns indexed by int
+    and candidate paths can carry their link indices precomputed.
+
+    Tables are interned per graph object (see :func:`link_table_for`): every
+    :class:`~repro.network.network.Network` built on the same graph — and
+    every copy, which shares the graph — shares one table, which is what
+    lets an interned candidate path's baked indices be valid across all of
+    them. The table is immutable after construction.
+    """
+
+    __slots__ = ("ids", "index", "__weakref__")
+
+    def __init__(self, links: Iterable[LinkId]):
+        self.ids: tuple[LinkId, ...] = tuple(links)
+        self.index: dict[LinkId, int] = {
+            link: i for i, link in enumerate(self.ids)}
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+_TABLES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def link_table_for(graph) -> LinkTable:
+    """The interned :class:`LinkTable` of ``graph`` (built on first use).
+
+    Keyed by graph identity: topologies cache and share their graph, so all
+    networks of one topology resolve to the same table.
+    """
+    table = _TABLES.get(graph)
+    if table is None:
+        table = LinkTable(graph.edges())
+        _TABLES[graph] = table
+    return table
+
+
 def path_links(path: Sequence[str]) -> tuple[LinkId, ...]:
-    """Return the directed links traversed by ``path`` in order."""
+    """Return the directed links traversed by ``path`` in order.
+
+    Interned candidate paths (:class:`repro.network.routing.candidate.
+    CandidatePath`) carry their links precomputed; those are returned as-is
+    instead of re-zipping the node tuple.
+    """
+    links = getattr(path, "links", None)
+    if links is not None:
+        return links
     return tuple(zip(path[:-1], path[1:]))
 
 

@@ -6,10 +6,20 @@ a placement is rejected (``InsufficientBandwidthError``) rather than allowed
 to oversubscribe a link. :meth:`Network.check_invariants` re-derives all link
 usage from the flow table and is used by the test suite and (optionally) the
 simulator to assert the substrate never drifts.
+
+Link state lives in flat columns indexed by the graph's interned
+:class:`~repro.network.link.LinkTable`: ``capacity``/``used`` in
+``array('d')`` and versions in a ``list[int]``, one slot per directed link.
+The string-keyed API is a thin shim over the columns; interned
+:class:`~repro.network.routing.candidate.CandidatePath` objects carry their
+link indices precomputed, so the hot loops (feasibility checks, placement,
+residual scans) iterate int tuples over the columns with no per-call tuple
+building or string-pair hashing.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import networkx as nx
@@ -23,7 +33,15 @@ from repro.core.exceptions import (
     UnknownFlowError,
 )
 from repro.core.flow import Flow, Placement
-from repro.network.link import EPS, LinkId, format_link, is_simple_path, path_links
+from repro.network.link import (
+    EPS,
+    LinkId,
+    LinkTable,
+    format_link,
+    is_simple_path,
+    link_table_for,
+    path_links,
+)
 from repro.network.state import NetworkState
 
 
@@ -49,41 +67,45 @@ class Network(NetworkState):
         if graph.number_of_nodes() == 0:
             raise TopologyError("cannot build a network from an empty graph")
         self._graph = graph
-        self._capacity: dict[LinkId, float] = {}
-        for u, v, data in graph.edges(data=True):
-            cap = float(data.get("capacity", default_capacity))
+        self._table = link_table_for(graph)
+        caps = []
+        for u, v in self._table.ids:
+            cap = float(graph.edges[u, v].get("capacity", default_capacity))
             if cap < 0:
                 raise TopologyError(f"link {format_link((u, v))} has negative "
                                     f"capacity {cap}")
-            self._capacity[(u, v)] = cap
-        self._used: dict[LinkId, float] = {link: 0.0 for link in self._capacity}
-        self._link_flows: dict[LinkId, set[str]] = {
-            link: set() for link in self._capacity}
+            caps.append(cap)
+        n = len(self._table)
+        self._cap_col = array("d", caps)
+        self._used_col = array("d", bytes(8 * n))
+        self._ver_col: list[int] = [0] * n
+        self._flows_col: list[set[str]] = [set() for _ in range(n)]
         self._placements: dict[str, Placement] = {}
-        self._rule_capacity: dict[str, int] = {}
+        # Rule-tracking nodes get their own dense index and columns.
+        self._node_index: dict[str, int] = {}
+        rule_caps: list[int] = []
         for node, data in graph.nodes(data=True):
             explicit = data.get("rule_capacity")
             if explicit is not None:
                 if int(explicit) < 0:
                     raise TopologyError(f"{node}: rule_capacity must be "
                                         f">= 0, got {explicit}")
-                self._rule_capacity[node] = int(explicit)
+                self._node_index[node] = len(rule_caps)
+                rule_caps.append(int(explicit))
             elif (default_rule_capacity is not None
                   and data.get("kind") != "host"):
                 if default_rule_capacity < 0:
                     raise TopologyError("default_rule_capacity must be "
                                         ">= 0")
-                self._rule_capacity[node] = default_rule_capacity
-        self._rules_used: dict[str, int] = {
-            node: 0 for node in self._rule_capacity}
+                self._node_index[node] = len(rule_caps)
+                rule_caps.append(default_rule_capacity)
+        self._rule_cap_col: list[int] = rule_caps
+        self._rules_used_col: list[int] = [0] * len(rule_caps)
         # Monotonic mutation counters: bumped for every link (and, on
         # rule-tracking networks, every path node) a place/remove touches.
         # Probe memoization (sched.cache) uses them to prove a cached plan's
         # footprint is unchanged.
-        self._link_version: dict[LinkId, int] = {
-            link: 0 for link in self._capacity}
-        self._node_version: dict[str, int] = {
-            node: 0 for node in self._rule_capacity}
+        self._node_ver_col: list[int] = [0] * len(rule_caps)
 
     # ------------------------------------------------------------- structure
 
@@ -103,37 +125,61 @@ class Network(NetworkState):
                 if d.get("kind") != "host"]
 
     def has_link(self, u: str, v: str) -> bool:
-        return (u, v) in self._capacity
+        return (u, v) in self._table.index
 
     def links(self) -> Iterable[LinkId]:
-        return self._capacity.keys()
+        return self._table.ids
 
     def switch_links(self) -> list[LinkId]:
         """Links between switches (excludes host access links); utilization
         statistics in the paper's sense are computed over these."""
         kinds: Mapping[str, str] = nx.get_node_attributes(self._graph, "kind")
-        return [(u, v) for (u, v) in self._capacity
+        return [(u, v) for (u, v) in self._table.ids
                 if kinds.get(u) != "host" and kinds.get(v) != "host"]
+
+    # ------------------------------------------------------- indexed kernel
+    #
+    # The int-keyed protocol the hot loops run on. Indices are positions in
+    # ``link_table()``; only states rooted at the same table may exchange
+    # them (views and recorders check table identity before trusting baked
+    # ``CandidatePath.link_idx`` tuples).
+
+    def link_table(self) -> LinkTable:
+        return self._table
+
+    def capacity_col(self) -> array:
+        """The raw capacity column (immutable by convention)."""
+        return self._cap_col
+
+    def used_idx(self, i: int) -> float:
+        return self._used_col[i]
+
+    def capacity_idx(self, i: int) -> float:
+        return self._cap_col[i]
+
+    def link_version_idx(self, i: int) -> int:
+        return self._ver_col[i]
+
+    def flows_idx(self, i: int) -> set[str]:
+        """The live flow set of link ``i`` — callers must not mutate it."""
+        return self._flows_col[i]
+
+    def _link_index(self, u: str, v: str) -> int:
+        i = self._table.index.get((u, v))
+        if i is None:
+            raise TopologyError(f"no link {format_link((u, v))}")
+        return i
 
     # ----------------------------------------------------------------- reads
 
     def capacity(self, u: str, v: str) -> float:
-        try:
-            return self._capacity[(u, v)]
-        except KeyError:
-            raise TopologyError(f"no link {format_link((u, v))}") from None
+        return self._cap_col[self._link_index(u, v)]
 
     def used(self, u: str, v: str) -> float:
-        try:
-            return self._used[(u, v)]
-        except KeyError:
-            raise TopologyError(f"no link {format_link((u, v))}") from None
+        return self._used_col[self._link_index(u, v)]
 
     def flows_on_link(self, u: str, v: str) -> frozenset[str]:
-        try:
-            return frozenset(self._link_flows[(u, v)])
-        except KeyError:
-            raise TopologyError(f"no link {format_link((u, v))}") from None
+        return frozenset(self._flows_col[self._link_index(u, v)])
 
     def has_flow(self, flow_id: str) -> bool:
         return flow_id in self._placements
@@ -150,62 +196,131 @@ class Network(NetworkState):
     def flow_count(self) -> int:
         return len(self._placements)
 
+    def path_residual(self, path: Sequence[str],
+                      ignore: frozenset[str] = frozenset()) -> float:
+        idx = getattr(path, "link_idx", None)
+        if idx is None or path.table is not self._table:
+            return super().path_residual(path, ignore=ignore)
+        cap, used = self._cap_col, self._used_col
+        best = float("inf")
+        if not ignore:
+            for i in idx:
+                res = cap[i] - used[i]
+                if res < best:
+                    best = res
+            return best
+        flows_col, placements = self._flows_col, self._placements
+        for i in idx:
+            res = cap[i] - used[i]
+            for fid in flows_col[i] & ignore:
+                res += placements[fid].flow.demand
+            if res < best:
+                best = res
+        return best
+
+    def path_residuals(self, path: Sequence[str]) -> list[float]:
+        idx = getattr(path, "link_idx", None)
+        if idx is None or path.table is not self._table:
+            return super().path_residuals(path)
+        cap, used = self._cap_col, self._used_col
+        return [max(0.0, cap[i] - used[i]) for i in idx]
+
     # ------------------------------------------------------------- mutations
+
+    def _path_indices(self, placement: Placement) -> Sequence[int]:
+        """The link indices of a placement's path.
+
+        Interned candidate paths carry them baked; anything else (a plain
+        node tuple from a test or trace) is mapped through the table. The
+        path was validated at ``place`` time, so every link resolves.
+        """
+        idx = getattr(placement.path, "link_idx", None)
+        if idx is not None and placement.path.table is self._table:
+            return idx
+        index = self._table.index
+        return [index[link] for link in placement.links]
 
     def place(self, flow: Flow, path: Sequence[str]) -> Placement:
         if flow.flow_id in self._placements:
             raise DuplicateFlowError(f"flow {flow.flow_id!r} already placed")
-        placement = Placement(flow=flow, path=tuple(path))
-        self._validate_path(placement.path)
-        for u, v in placement.links:
-            free = self._capacity[(u, v)] - self._used[(u, v)]
-            if free + EPS < flow.demand:
+        placement = Placement(
+            flow=flow, path=path if isinstance(path, tuple) else tuple(path))
+        idx = getattr(placement.path, "link_idx", None)
+        if idx is None or placement.path.table is not self._table:
+            # Candidate paths are validated at interning time; anything
+            # else is checked here.
+            self._validate_path(placement.path)
+            index = self._table.index
+            idx = [index[link] for link in placement.links]
+        cap, used, demand = self._cap_col, self._used_col, flow.demand
+        for i in idx:
+            free = cap[i] - used[i]
+            if free + EPS < demand:
+                u, v = self._table.ids[i]
                 raise InsufficientBandwidthError(
                     f"link {format_link((u, v))} has {free:.3f} Mbit/s free, "
                     f"flow {flow.flow_id} needs {flow.demand:.3f}",
                     bottleneck=(u, v), deficit=flow.demand - free)
-        if self._rule_capacity:
+        if self._node_index:
+            node_index = self._node_index
             for node in placement.path:
-                limit = self._rule_capacity.get(node)
-                if limit is not None and self._rules_used[node] >= limit:
+                ni = node_index.get(node)
+                if ni is not None \
+                        and self._rules_used_col[ni] >= self._rule_cap_col[ni]:
                     raise RuleSpaceError(
                         f"switch {node} rule table full "
-                        f"({limit} rules), cannot install "
+                        f"({self._rule_cap_col[ni]} rules), cannot install "
                         f"{flow.flow_id}", switch=node)
-        for link in placement.links:
-            self._used[link] += flow.demand
-            self._link_flows[link].add(flow.flow_id)
-            self._link_version[link] += 1
-        if self._rule_capacity:
+        flows_col, ver = self._flows_col, self._ver_col
+        fid = flow.flow_id
+        for i in idx:
+            used[i] += demand
+            flows_col[i].add(fid)
+            ver[i] += 1
+        if self._node_index:
             for node in placement.path:
-                if node in self._rules_used:
-                    self._rules_used[node] += 1
-                    self._node_version[node] += 1
-        self._placements[flow.flow_id] = placement
+                ni = self._node_index.get(node)
+                if ni is not None:
+                    self._rules_used_col[ni] += 1
+                    self._node_ver_col[ni] += 1
+        self._placements[fid] = placement
         return placement
 
     def remove(self, flow_id: str) -> Placement:
         placement = self.placement(flow_id)
-        for link in placement.links:
-            self._used[link] -= placement.flow.demand
-            if self._used[link] < 0:
+        used, flows_col, ver = self._used_col, self._flows_col, self._ver_col
+        demand = placement.flow.demand
+        for i in self._path_indices(placement):
+            used[i] -= demand
+            if used[i] < 0:
                 # Guard against float drift; usage can never be negative.
-                self._used[link] = 0.0
-            self._link_flows[link].discard(flow_id)
-            self._link_version[link] += 1
-        if self._rule_capacity:
+                used[i] = 0.0
+            flows_col[i].discard(flow_id)
+            ver[i] += 1
+        if self._node_index:
             for node in placement.path:
-                if node in self._rules_used:
-                    self._rules_used[node] -= 1
-                    self._node_version[node] += 1
+                ni = self._node_index.get(node)
+                if ni is not None:
+                    self._rules_used_col[ni] -= 1
+                    self._node_ver_col[ni] += 1
         del self._placements[flow_id]
         return placement
+
+    def _set_capacity(self, u: str, v: str, value: float) -> None:
+        """Overwrite one link's capacity (failure injection only).
+
+        Capacities are otherwise immutable; ``FailureInjector`` zeroes them
+        to take links down and restores them on heal. Views pick the change
+        up immediately — they read the shared capacity column.
+        """
+        self._cap_col[self._link_index(u, v)] = value
 
     def _validate_path(self, path: tuple[str, ...]) -> None:
         if not is_simple_path(path):
             raise InvalidPathError(f"path {path!r} is not a simple path")
+        index = self._table.index
         for u, v in path_links(path):
-            if (u, v) not in self._capacity:
+            if (u, v) not in index:
                 raise InvalidPathError(
                     f"path uses nonexistent link {format_link((u, v))}")
 
@@ -216,35 +331,35 @@ class Network(NetworkState):
         return True
 
     def link_version(self, u: str, v: str) -> int:
-        try:
-            return self._link_version[(u, v)]
-        except KeyError:
-            raise TopologyError(f"no link {format_link((u, v))}") from None
+        return self._ver_col[self._link_index(u, v)]
 
     def node_version(self, node: str) -> int:
-        return self._node_version.get(node, 0)
+        ni = self._node_index.get(node)
+        return self._node_ver_col[ni] if ni is not None else 0
 
     # ----------------------------------------------------------- rule space
 
     def rule_capacity(self, node: str) -> int | None:
         """Rule-table size of ``node``; None means unlimited."""
-        return self._rule_capacity.get(node)
+        ni = self._node_index.get(node)
+        return self._rule_cap_col[ni] if ni is not None else None
 
     def rules_used(self, node: str) -> int:
         """Forwarding rules currently installed on ``node``."""
-        return self._rules_used.get(node, 0)
+        ni = self._node_index.get(node)
+        return self._rules_used_col[ni] if ni is not None else 0
 
     def rules_free(self, node: str) -> int | None:
         """Remaining rule slots on ``node``; None means unlimited."""
-        limit = self._rule_capacity.get(node)
-        if limit is None:
+        ni = self._node_index.get(node)
+        if ni is None:
             return None
-        return limit - self._rules_used[node]
+        return self._rule_cap_col[ni] - self._rules_used_col[ni]
 
     @property
     def tracks_rules(self) -> bool:
         """True when at least one node has a finite rule table."""
-        return bool(self._rule_capacity)
+        return bool(self._node_index)
 
     # ------------------------------------------------------------ statistics
 
@@ -262,10 +377,10 @@ class Network(NetworkState):
         return max(self.utilization(u, v) for u, v in pool)
 
     def total_capacity(self) -> float:
-        return sum(self._capacity.values())
+        return sum(self._cap_col)
 
     def total_used(self) -> float:
-        return sum(self._used.values())
+        return sum(self._used_col)
 
     # ------------------------------------------------------------- invariants
 
@@ -276,59 +391,61 @@ class Network(NetworkState):
             AssertionError: usage bookkeeping drifted from the flow table, a
                 link is oversubscribed, or a link-flow index is stale.
         """
-        derived_used: dict[LinkId, float] = {link: 0.0 for link in self._capacity}
-        derived_flows: dict[LinkId, set[str]] = {
-            link: set() for link in self._capacity}
+        n = len(self._table)
+        derived_used = [0.0] * n
+        derived_flows: list[set[str]] = [set() for _ in range(n)]
         for fid, placement in self._placements.items():
-            for link in placement.links:
-                derived_used[link] += placement.flow.demand
-                derived_flows[link].add(fid)
-        for link in self._capacity:
-            assert abs(derived_used[link] - self._used[link]) < 1e-3, (
-                f"link {format_link(link)}: tracked used {self._used[link]} "
-                f"!= derived {derived_used[link]}")
-            assert derived_flows[link] == self._link_flows[link], (
+            for i in self._path_indices(placement):
+                derived_used[i] += placement.flow.demand
+                derived_flows[i].add(fid)
+        for i, link in enumerate(self._table.ids):
+            assert abs(derived_used[i] - self._used_col[i]) < 1e-3, (
+                f"link {format_link(link)}: tracked used {self._used_col[i]} "
+                f"!= derived {derived_used[i]}")
+            assert derived_flows[i] == self._flows_col[i], (
                 f"link {format_link(link)}: stale flow index")
-            assert self._used[link] <= self._capacity[link] + 1e-3, (
+            assert self._used_col[i] <= self._cap_col[i] + 1e-3, (
                 f"link {format_link(link)} oversubscribed: "
-                f"{self._used[link]} > {self._capacity[link]}")
-        if self._rule_capacity:
-            derived_rules: dict[str, int] = {
-                node: 0 for node in self._rule_capacity}
+                f"{self._used_col[i]} > {self._cap_col[i]}")
+        if self._node_index:
+            derived_rules = [0] * len(self._rule_cap_col)
             for placement in self._placements.values():
                 for node in placement.path:
-                    if node in derived_rules:
-                        derived_rules[node] += 1
-            for node, limit in self._rule_capacity.items():
-                assert derived_rules[node] == self._rules_used[node], (
+                    ni = self._node_index.get(node)
+                    if ni is not None:
+                        derived_rules[ni] += 1
+            for node, ni in self._node_index.items():
+                assert derived_rules[ni] == self._rules_used_col[ni], (
                     f"switch {node}: tracked rules "
-                    f"{self._rules_used[node]} != derived "
-                    f"{derived_rules[node]}")
-                assert self._rules_used[node] <= limit, (
+                    f"{self._rules_used_col[ni]} != derived "
+                    f"{derived_rules[ni]}")
+                assert self._rules_used_col[ni] <= self._rule_cap_col[ni], (
                     f"switch {node} rule table over budget: "
-                    f"{self._rules_used[node]} > {limit}")
+                    f"{self._rules_used_col[ni]} > {self._rule_cap_col[ni]}")
 
     # ----------------------------------------------------------------- copies
 
     def copy(self) -> "Network":
         """An independent network with the same placements.
 
-        The topology graph is shared (it is never mutated); bookkeeping
-        dicts are duplicated. Experiments load background traffic once and
-        hand each scheduler run its own copy, so all schedulers face an
-        identical starting state.
+        The topology graph, link table, and node index are shared (they are
+        never mutated); the state columns are duplicated — a handful of
+        flat-array copies rather than per-entry dict rebuilds. Experiments
+        load background traffic once and hand each scheduler run its own
+        copy, so all schedulers face an identical starting state.
         """
         clone = Network.__new__(Network)
         clone._graph = self._graph
-        clone._capacity = dict(self._capacity)
-        clone._used = dict(self._used)
-        clone._link_flows = {link: set(flows)
-                             for link, flows in self._link_flows.items()}
+        clone._table = self._table
+        clone._cap_col = array("d", self._cap_col)
+        clone._used_col = array("d", self._used_col)
+        clone._ver_col = list(self._ver_col)
+        clone._flows_col = [set(flows) for flows in self._flows_col]
         clone._placements = dict(self._placements)
-        clone._rule_capacity = dict(self._rule_capacity)
-        clone._rules_used = dict(self._rules_used)
-        clone._link_version = dict(self._link_version)
-        clone._node_version = dict(self._node_version)
+        clone._node_index = self._node_index
+        clone._rule_cap_col = list(self._rule_cap_col)
+        clone._rules_used_col = list(self._rules_used_col)
+        clone._node_ver_col = list(self._node_ver_col)
         return clone
 
     # ----------------------------------------------------------------- views

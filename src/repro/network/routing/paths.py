@@ -31,14 +31,20 @@ def paths_avoiding(paths: Iterable[Sequence[str]],
 
     Used when searching for an alternate path for a migrated flow: the new
     path must avoid the congested link it is being moved away from.
+
+    Paths that are already tuples (including interned
+    :class:`~repro.network.routing.candidate.CandidatePath` objects) pass
+    through unchanged so their precomputed link data survives the filter.
     """
-    return [tuple(p) for p in paths if link not in path_links(p)]
+    return [p if isinstance(p, tuple) else tuple(p)
+            for p in paths if link not in path_links(p)]
 
 
 def paths_through(paths: Iterable[Sequence[str]],
                   link: LinkId) -> list[tuple[str, ...]]:
     """Filter ``paths`` down to those that traverse ``link``."""
-    return [tuple(p) for p in paths if link in path_links(p)]
+    return [p if isinstance(p, tuple) else tuple(p)
+            for p in paths if link in path_links(p)]
 
 
 def path_hops(path: Sequence[str]) -> int:

@@ -4,6 +4,14 @@ Planning probes the same host pairs over and over (every LMTF round replans
 ``α+1`` events against fresh state), so candidate paths per ``(src, dst)``
 pair are computed once from the topology and cached — they depend only on the
 graph, never on current utilization.
+
+Cached paths are interned :class:`~repro.network.routing.candidate.
+CandidatePath` objects: node tuples carrying their directed links, a link
+frozenset, and the links' dense integer indices into the topology graph's
+:class:`~repro.network.link.LinkTable`, all precomputed once. Every consumer
+of :meth:`PathProvider.paths` therefore feeds the integer-indexed state
+kernel for free, and identity tests (``path is desired``) are sound because
+each candidate exists exactly once per provider.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ import random
 from typing import Sequence
 
 from repro.core.exceptions import TopologyError
+from repro.network.link import link_table_for
+from repro.network.routing.candidate import CandidatePath
 from repro.network.topology.base import Topology
 
 
@@ -34,14 +44,14 @@ class PathProvider:
         self._topology = topology
         self._max_paths = max_paths
         self._banned = frozenset(banned_nodes)
-        self._cache: dict[tuple[str, str], tuple[tuple[str, ...], ...]] = {}
+        self._cache: dict[tuple[str, str], tuple[CandidatePath, ...]] = {}
 
     @property
     def topology(self) -> Topology:
         return self._topology
 
-    def paths(self, src: str, dst: str) -> tuple[tuple[str, ...], ...]:
-        """All candidate paths from ``src`` to ``dst`` (cached).
+    def paths(self, src: str, dst: str) -> tuple[CandidatePath, ...]:
+        """All candidate paths from ``src`` to ``dst`` (cached, interned).
 
         Raises:
             TopologyError: no path exists between the hosts.
@@ -58,12 +68,20 @@ class PathProvider:
             if not found:
                 raise TopologyError(f"no path from {src!r} to {dst!r} in "
                                     f"{self._topology.name}")
-            cached = tuple(tuple(p) for p in found)
+            table = link_table_for(self._topology.graph())
+            cached = tuple(CandidatePath.make(p, table) for p in found)
             self._cache[key] = cached
         return cached
 
+    def candidates(self, src: str, dst: str) -> tuple[CandidatePath, ...]:
+        """Alias of :meth:`paths`, named for what it returns: the interned
+        :class:`CandidatePath` objects with precomputed ``links``/
+        ``link_set``/``link_idx`` — call sites should iterate these instead
+        of re-deriving ``path_links``."""
+        return self.paths(src, dst)
+
     def shuffled_paths(self, src: str, dst: str,
-                       rng: random.Random) -> list[tuple[str, ...]]:
+                       rng: random.Random) -> list[CandidatePath]:
         """Candidate paths in a random order (ECMP-style tie breaking).
 
         Shuffling the *copy* keeps the cache order stable.
@@ -76,6 +94,10 @@ class PathProvider:
         return len(self._cache)
 
     def warm(self, pairs: Sequence[tuple[str, str]]) -> None:
-        """Pre-populate the cache for a known set of host pairs."""
-        for src, dst in pairs:
+        """Pre-populate the cache for a known set of host pairs.
+
+        Duplicate pairs are collapsed first; sweep drivers hand over raw
+        trace endpoints, which repeat heavily.
+        """
+        for src, dst in dict.fromkeys(pairs):
             self.paths(src, dst)

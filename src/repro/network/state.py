@@ -50,6 +50,31 @@ class NetworkState(abc.ABC):
     def links(self) -> Iterable[LinkId]:
         """Iterate over all directed links."""
 
+    # --------------------------------------------------------- indexed kernel
+    #
+    # States rooted at a :class:`~repro.network.network.Network` expose an
+    # int-keyed read protocol over the network's interned
+    # :class:`~repro.network.link.LinkTable`: ``link_table()`` returns the
+    # table (or ``None`` when the state is not index-backed) and
+    # ``used_idx``/``capacity_idx``/``flows_idx``/``link_version_idx`` read
+    # one link's column slot. Interned candidate paths carry their link
+    # indices precomputed, so the hot loops (``path_residual``,
+    # ``path_residuals``, place/remove feasibility scans) iterate int tuples
+    # instead of hashing string-pair link ids. A state that returns a table
+    # must implement the ``*_idx`` reads; the defaults here serve
+    # non-indexed states, for which the fast paths simply never activate.
+
+    def link_table(self):
+        """The dense link index this state is keyed by, or ``None``."""
+        return None
+
+    def link_version_idx(self, i: int) -> int:
+        """:meth:`link_version` of the link with table index ``i``."""
+        table = self.link_table()
+        if table is None:
+            raise TypeError(f"{type(self).__name__} is not index-backed")
+        return self.link_version(*table.ids[i])
+
     # ------------------------------------------------------------- versioning
     #
     # Monotonic per-link (and, on rule-tracking states, per-node) version
@@ -157,6 +182,18 @@ class NetworkState(abc.ABC):
                     res += self.placement(fid).flow.demand
             best = min(best, res)
         return best
+
+    def path_residuals(self, path: Sequence[str]) -> list[float]:
+        """Per-link residuals along ``path``, in link order.
+
+        Each entry equals :meth:`residual` of that link (clamped at zero),
+        so congestion scans (:meth:`~repro.core.migration.MigrationPlanner.
+        congested_links`) and deficit estimates can consume one vectorized
+        read instead of a string-keyed call per link. Index-backed states
+        override this with a flat column loop.
+        """
+        return [max(0.0, self.capacity(u, v) - self.used(u, v))
+                for u, v in path_links(path)]
 
     def path_feasible(self, path: Sequence[str], demand: float,
                       ignore: frozenset[str] = frozenset()) -> bool:

@@ -1,0 +1,39 @@
+"""Pinned end-to-end schedule hashes.
+
+These pins were captured on the dict-keyed link-state implementation
+immediately before the integer-indexed kernel landed, so they assert the
+strongest contract the kernel makes: the rewrite is *schedule-invisible* —
+every RNG draw, tie-break, admission, and reported metric is bit-identical,
+all the way to the serialized JSON. A pin failure means some refactor
+changed simulated behavior, not just wall-clock speed; the fix is to find
+the divergence, not to re-pin (re-pinning is only legitimate for a change
+that *intends* to alter planning semantics, e.g. a planner cost-model fix).
+"""
+
+import hashlib
+
+from repro.core.flow import flow_id_state, set_flow_id_state
+from repro.experiments import fig5
+
+#: fig5.run(seed=0, utilization=0.6, event_counts=(6,)) on the pre-kernel
+#: tree (planning-ops accounting fixes included).
+FIG5_MINI_SHA256 = \
+    "ab18203c7856f8c41d1451003d3c5903d9791d50d071c157b00d1db368a203e0"
+
+
+class TestSchedulePins:
+    def test_fig5_mini_run_is_byte_identical(self):
+        # Flow ids feed the ECMP desired-path hash, so the run is a pure
+        # function of its spec only from a pinned counter state (0 = fresh
+        # process, how the baseline was captured). Restore afterwards so
+        # flows minted by other tests cannot collide.
+        saved = flow_id_state()
+        set_flow_id_state(0)
+        try:
+            result = fig5.run(seed=0, utilization=0.6, event_counts=(6,))
+        finally:
+            set_flow_id_state(saved)
+        digest = hashlib.sha256(result.to_json().encode()).hexdigest()
+        assert digest == FIG5_MINI_SHA256, (
+            "fig5 mini-run JSON diverged from the pinned pre-kernel "
+            f"schedule: {digest}")

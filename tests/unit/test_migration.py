@@ -88,10 +88,8 @@ class TestMakeRoom:
     def test_no_congestion_returns_empty(self, setup):
         net, __, planner = setup
         view = NetworkView(net)
-        result = planner.make_room(view, probe("new", 10.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is not None
-        migrations, ops = result
+        migrations, ops = planner.make_room(view, probe("new", 10.0), TOP,
+                                             frozenset(), random.Random(1))
         assert migrations == []
         assert ops > 0
 
@@ -99,10 +97,9 @@ class TestMakeRoom:
         net, __, planner = setup
         net.place(background("bg", 45.0), BG_TOP)
         view = NetworkView(net)
-        result = planner.make_room(view, probe("new", 60.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is not None
-        migrations, __ops = result
+        migrations, __ops = planner.make_room(view, probe("new", 60.0), TOP,
+                                               frozenset(), random.Random(1))
+        assert migrations is not None
         assert [m.flow.flow_id for m in migrations] == ["bg"]
         assert migrations[0].new_path == BG_BOT
         assert view.path_feasible(TOP, 60.0)
@@ -113,9 +110,11 @@ class TestMakeRoom:
         net, __, planner = setup
         net.place(background("bg", 45.0), BG_TOP)
         view = NetworkView(net)
-        result = planner.make_room(view, probe("new", 60.0), TOP,
-                                   frozenset(["bg"]), random.Random(1))
-        assert result is None  # bg was the only migratable flow
+        migrations, ops = planner.make_room(view, probe("new", 60.0), TOP,
+                                             frozenset(["bg"]),
+                                             random.Random(1))
+        assert migrations is None  # bg was the only migratable flow
+        assert ops > 0  # the failed attempt still charges its work
 
     def test_fails_when_alternate_is_full(self, setup):
         net, __, planner = setup
@@ -125,9 +124,9 @@ class TestMakeRoom:
         view = NetworkView(net)
         # moving bg1 to bot needs 45+60 <= 100 there: impossible, and bg2
         # on bot cannot help the top path; no migration set exists.
-        result = planner.make_room(view, probe("new", 60.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is None
+        migrations, __ops = planner.make_room(view, probe("new", 60.0), TOP,
+                                               frozenset(), random.Random(1))
+        assert migrations is None
 
     def test_host_access_shortage_cannot_be_migrated(self, setup):
         net, __, planner = setup
@@ -135,19 +134,18 @@ class TestMakeRoom:
         # c/d traffic can ever free it.
         net.place(Flow(flow_id="mine", src="a", dst="b", demand=90.0), TOP)
         view = NetworkView(net)
-        result = planner.make_room(view, probe("new", 60.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is None
+        migrations, __ops = planner.make_room(view, probe("new", 60.0), TOP,
+                                               frozenset(), random.Random(1))
+        assert migrations is None
 
     def test_migration_cost_is_sum_of_demands(self, setup):
         net, __, planner = setup
         net.place(background("bg1", 20.0), BG_TOP)
         net.place(background("bg2", 25.0), BG_TOP)
         view = NetworkView(net)
-        result = planner.make_room(view, probe("new", 80.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is not None
-        migrations, __ops = result
+        migrations, __ops = planner.make_room(view, probe("new", 80.0), TOP,
+                                               frozenset(), random.Random(1))
+        assert migrations is not None
         # residual was 55, need 80 -> deficit 25; best_fit moves bg2 alone
         total = sum(m.migrated_traffic for m in migrations)
         assert total == pytest.approx(25.0)
@@ -170,10 +168,9 @@ class TestStrategies:
         view = NetworkView(net)
         # middle residual 50, need 75 -> deficit 25: small(20) alone cannot
         # cover, large(30) can; best_fit moves exactly the large flow.
-        result = planner.make_room(view, probe("new", 75.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is not None
-        migrations, __ = result
+        migrations, __ = planner.make_room(view, probe("new", 75.0), TOP,
+                                            frozenset(), random.Random(1))
+        assert migrations is not None
         assert [m.flow.flow_id for m in migrations] == ["large"]
 
     def test_smallest_first_accumulates(self):
@@ -181,10 +178,9 @@ class TestStrategies:
         planner = MigrationPlanner(
             provider, MigrationConfig(strategy="smallest_first"))
         view = NetworkView(net)
-        result = planner.make_room(view, probe("new", 75.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is not None
-        migrations, __ = result
+        migrations, __ = planner.make_room(view, probe("new", 75.0), TOP,
+                                            frozenset(), random.Random(1))
+        assert migrations is not None
         moved = [m.flow.flow_id for m in migrations]
         assert moved[0] == "small"
         assert set(moved) == {"small", "large"}
@@ -194,10 +190,9 @@ class TestStrategies:
         planner = MigrationPlanner(
             provider, MigrationConfig(strategy="largest_first"))
         view = NetworkView(net)
-        result = planner.make_room(view, probe("new", 75.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is not None
-        migrations, __ = result
+        migrations, __ = planner.make_room(view, probe("new", 75.0), TOP,
+                                            frozenset(), random.Random(1))
+        assert migrations is not None
         assert [m.flow.flow_id for m in migrations] == ["large"]
 
 
@@ -214,6 +209,7 @@ class TestBudgets:
         view = NetworkView(net)
         # middle residual 50, need 80 -> deficit 30 needs 3 flows of 10,
         # but the budget allows only 2.
-        result = planner.make_room(view, probe("new", 80.0), TOP,
-                                   frozenset(), random.Random(1))
-        assert result is None
+        migrations, ops = planner.make_room(view, probe("new", 80.0), TOP,
+                                             frozenset(), random.Random(1))
+        assert migrations is None
+        assert ops > 0

@@ -267,6 +267,7 @@ class TestInvariants:
 
     def test_detects_corruption(self, net):
         net.place(flow(), PATH)
-        net._used[("a", "s1")] += 5.0  # simulate bookkeeping drift
+        idx = net.link_table().index[("a", "s1")]
+        net._used_col[idx] += 5.0  # simulate bookkeeping drift
         with pytest.raises(AssertionError):
             net.check_invariants()

@@ -103,7 +103,7 @@ class TestNetworkRules:
     def test_invariants_catch_rule_drift(self):
         net = rules_diamond(top_rules=3).network()
         net.place(flow("f1"), TOP)
-        net._rules_used["top"] += 1
+        net._rules_used_col[net._node_index["top"]] += 1
         with pytest.raises(AssertionError):
             net.check_invariants()
 
