@@ -7,8 +7,11 @@
    finishes from its checkpoint (recomputing only unfinished cells) and
    still merges to the identical bytes.
 
-Runs a small ``fig6_with_spread`` grid (2 trials x 3 schedulers). Exits
-non-zero with a diagnostic on any violation.
+Both contracts are checked twice: on a small fault-free
+``fig6_with_spread`` grid (2 trials x 3 schedulers), and on a *faulted*
+``failure_sweep`` grid whose cells inject mid-run link failures and an
+unreliable control plane — the chaos path must be exactly as deterministic
+as the clean one. Exits non-zero with a diagnostic on any violation.
 
 Usage::
 
@@ -23,19 +26,44 @@ import subprocess
 import sys
 import tempfile
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
-SWEEP = {"seed": 1, "events": 4, "seeds": 2}
-TOTAL_CELLS = SWEEP["seeds"] * 3
 
-#: Child process: run the parallel sweep with a checkpoint, print the JSON.
-_CHILD = """
-import sys
-from repro.experiments.multiseed import fig6_with_spread
-result = fig6_with_spread(seed={seed}, events={events}, seeds={seeds},
-                          jobs=2, checkpoint={checkpoint!r})
-sys.stdout.write(result.to_json())
-"""
+@dataclass(frozen=True)
+class Phase:
+    """One experiment put through the determinism + kill/resume gauntlet."""
+
+    name: str
+    module: str     # "package.module:function"
+    params: dict
+    total_cells: int
+
+    def child_script(self, checkpoint: Path) -> str:
+        mod, fn = self.module.split(":")
+        return (f"import sys\n"
+                f"from {mod} import {fn}\n"
+                f"result = {fn}(**{self.params!r}, jobs=2, "
+                f"checkpoint={str(checkpoint)!r})\n"
+                f"sys.stdout.write(result.to_json())\n")
+
+    def run(self, **kwargs) -> str:
+        mod, fn = self.module.split(":")
+        module = __import__(mod, fromlist=[fn])
+        return getattr(module, fn)(**self.params, **kwargs).to_json()
+
+
+PHASES = (
+    Phase(name="fig6 (fault-free)",
+          module="repro.experiments.multiseed:fig6_with_spread",
+          params={"seed": 1, "events": 4, "seeds": 2},
+          total_cells=2 * 3),
+    Phase(name="failure sweep (chaos)",
+          module="repro.experiments.robustness:failure_sweep",
+          params={"seed": 1, "events": 4, "utilization": 0.5,
+                  "fault_rates": (0.05,), "horizon": 40.0},
+          total_cells=1 * 3),
+)
 
 
 def fail(message: str) -> None:
@@ -50,28 +78,28 @@ def child_env() -> dict:
     return env
 
 
-def run_sweep_subprocess(checkpoint: Path) -> str:
-    script = _CHILD.format(checkpoint=str(checkpoint), **SWEEP)
-    proc = subprocess.run([sys.executable, "-c", script], env=child_env(),
-                          capture_output=True, text=True, timeout=600)
+def run_sweep_subprocess(phase: Phase, checkpoint: Path) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", phase.child_script(checkpoint)],
+        env=child_env(), capture_output=True, text=True, timeout=600)
     if proc.returncode != 0:
         fail(f"sweep subprocess failed:\n{proc.stderr}")
     return proc.stdout
 
 
-def kill_sweep_midway(checkpoint: Path) -> int:
+def kill_sweep_midway(phase: Phase, checkpoint: Path) -> int:
     """Start the sweep, SIGKILL it after some cells checkpointed; return
     how many completed cells survived."""
-    script = _CHILD.format(checkpoint=str(checkpoint), **SWEEP)
-    proc = subprocess.Popen([sys.executable, "-c", script], env=child_env(),
-                            stdout=subprocess.DEVNULL,
-                            stderr=subprocess.DEVNULL)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", phase.child_script(checkpoint)],
+        env=child_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
     deadline = time.time() + 300
     try:
         while time.time() < deadline:
             if checkpoint.exists():
                 done = len(checkpoint.read_text().splitlines())
-                if 1 <= done < TOTAL_CELLS:
+                if 1 <= done < phase.total_cells:
                     break
             if proc.poll() is not None:
                 # finished before we managed to kill it: still a valid
@@ -85,29 +113,29 @@ def kill_sweep_midway(checkpoint: Path) -> int:
             proc.send_signal(signal.SIGKILL)
         proc.wait()
     survivors = len(checkpoint.read_text().splitlines())
-    print(f"  killed sweep with {survivors}/{TOTAL_CELLS} cells "
+    print(f"  killed sweep with {survivors}/{phase.total_cells} cells "
           f"checkpointed")
     return survivors
 
 
-def main() -> None:
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-    from repro.experiments.multiseed import fig6_with_spread
+def check_phase(phase: Phase) -> None:
     from repro.experiments.runner import SweepListener
 
+    print(f"== {phase.name} ==")
     print("1) sequential reference (jobs=1)...")
-    reference = fig6_with_spread(**SWEEP, jobs=1).to_json()
+    reference = phase.run(jobs=1)
 
     print("2) parallel sweep (jobs=2) in a fresh process...")
     with tempfile.TemporaryDirectory() as tmp:
-        parallel = run_sweep_subprocess(Path(tmp) / "full.jsonl")
+        parallel = run_sweep_subprocess(phase, Path(tmp) / "full.jsonl")
         if parallel != reference:
-            fail("jobs=2 result differs from the sequential jobs=1 result")
+            fail(f"{phase.name}: jobs=2 result differs from the "
+                 f"sequential jobs=1 result")
         print("  byte-identical to sequential")
 
         print("3) kill a jobs=2 sweep mid-flight, then resume...")
         checkpoint = Path(tmp) / "killed.jsonl"
-        survivors = kill_sweep_midway(checkpoint)
+        survivors = kill_sweep_midway(phase, checkpoint)
 
         class Recorder(SweepListener):
             def __init__(self):
@@ -120,22 +148,29 @@ def main() -> None:
                 self.resumed.append(key)
 
         listener = Recorder()
-        resumed = fig6_with_spread(**SWEEP, jobs=2, checkpoint=checkpoint,
-                                   resume=True, listener=listener).to_json()
+        resumed = phase.run(jobs=2, checkpoint=checkpoint, resume=True,
+                            listener=listener)
         if resumed != reference:
-            fail("resumed result differs from the uninterrupted result")
+            fail(f"{phase.name}: resumed result differs from the "
+                 f"uninterrupted result")
         # every fully-checkpointed cell must be served from the checkpoint
         # (the torn tail of the killed append, if any, is recomputed)
         if len(listener.resumed) < max(1, survivors - 1):
-            fail(f"resume recomputed checkpointed cells: only "
-                 f"{len(listener.resumed)} of {survivors} reused")
-        if len(listener.resumed) + len(listener.started) != TOTAL_CELLS:
-            fail(f"resume covered {len(listener.resumed)} + "
-                 f"{len(listener.started)} != {TOTAL_CELLS} cells")
+            fail(f"{phase.name}: resume recomputed checkpointed cells: "
+                 f"only {len(listener.resumed)} of {survivors} reused")
+        if len(listener.resumed) + len(listener.started) != phase.total_cells:
+            fail(f"{phase.name}: resume covered {len(listener.resumed)} + "
+                 f"{len(listener.started)} != {phase.total_cells} cells")
         print(f"  resumed {len(listener.resumed)} cells, recomputed "
               f"{len(listener.started)}, bytes identical")
 
-    print("OK: parallel determinism and checkpoint/resume verified")
+
+def main() -> None:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    for phase in PHASES:
+        check_phase(phase)
+    print("OK: parallel determinism and checkpoint/resume verified "
+          "(fault-free and chaos)")
 
 
 if __name__ == "__main__":

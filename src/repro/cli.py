@@ -40,6 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the LMTF/P-LMTF sample size")
     parser.add_argument("--probes", type=int, default=None,
                         help="fig1 only: probe flows per point")
+    parser.add_argument("--fault-rates", default=None, metavar="R1,R2,...",
+                        help="robustness-failures only: comma-separated "
+                             "fault rates (faults/s) to sweep")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="run simulation cells in N worker processes "
                              "(results are identical to a sequential "
@@ -84,6 +87,9 @@ def main(argv: list[str] | None = None) -> int:
         value = getattr(args, name)
         if value is not None and name in accepted:
             kwargs[name] = value
+    if args.fault_rates is not None and "fault_rates" in accepted:
+        kwargs["fault_rates"] = tuple(
+            float(r) for r in args.fault_rates.split(",") if r.strip())
     kwargs.update(_parallel_kwargs(args, args.figure, accepted))
     started = time.time()
     result = runner(**kwargs)

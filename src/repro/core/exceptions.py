@@ -74,5 +74,27 @@ class PlanningError(ReproError):
     """An event plan could not be constructed (no migration set exists)."""
 
 
+class ControlPlaneError(ReproError):
+    """Executing a plan failed on the (unreliable) control plane.
+
+    Raised by :class:`~repro.core.executor.PlanExecutor` after every retry
+    of a plan's rule installs / migration drains failed or the per-plan
+    deadline elapsed. The network state has already been rolled back to its
+    pre-execution contents when this propagates; the simulator reacts by
+    requeueing the event rather than crashing the run.
+
+    Attributes:
+        attempts: how many full execution attempts were made.
+        elapsed: simulated seconds consumed by the failed attempts
+            (attempt latencies plus backoff waits).
+    """
+
+    def __init__(self, message: str, attempts: int = 1,
+                 elapsed: float = 0.0):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed = elapsed
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""

@@ -10,11 +10,29 @@ simulated time via the :class:`~repro.sim.timing.TimingModel`.
 mirror an already-probed plan onto its cumulative batch view so that batch
 members are planned against exactly the state their predecessors will leave
 behind.
+
+Execution is no longer assumed infallible. With an unreliable
+:class:`~repro.sim.controlplane.ControlPlane`, each rule install / migration
+drain can fail; the executor then retries the whole plan with exponential
+backoff under a :class:`RetryPolicy`, and on exhaustion (or deadline) rolls
+the partial application back and raises
+:class:`~repro.core.exceptions.ControlPlaneError` with the simulated time
+the failed attempts consumed — the simulator requeues the event instead of
+crashing the run. With the default reliable control plane the historical
+single-shot path runs unchanged, bit for bit.
 """
 
 from __future__ import annotations
 
-from repro.core.exceptions import PlacementError, PlanningError, TopologyError
+import math
+from dataclasses import dataclass
+
+from repro.core.exceptions import (
+    ControlPlaneError,
+    PlacementError,
+    PlanningError,
+    TopologyError,
+)
 from repro.core.plan import EventPlan, ExecutionRecord
 from repro.network.state import NetworkState
 from repro.sim.timing import TimingModel
@@ -35,10 +53,7 @@ def apply_plan(state: NetworkState, plan: EventPlan) -> list[str]:
             ``InsufficientBandwidthError``; rule-table-limited networks
             raise its ``RuleSpaceError`` subtype).
     """
-    if not plan.feasible:
-        raise PlanningError(
-            f"refusing to apply infeasible plan for event "
-            f"{plan.event.event_id} ({len(plan.blocked)} blocked flows)")
+    _check_feasible(plan)
     applied: list[tuple[str, tuple]] = []
     rerouted: list[str] = []
     try:
@@ -57,6 +72,13 @@ def apply_plan(state: NetworkState, plan: EventPlan) -> list[str]:
     return rerouted
 
 
+def _check_feasible(plan: EventPlan) -> None:
+    if not plan.feasible:
+        raise PlanningError(
+            f"refusing to apply infeasible plan for event "
+            f"{plan.event.event_id} ({len(plan.blocked)} blocked flows)")
+
+
 def _rollback(state: NetworkState, applied: list[tuple[str, tuple]]) -> None:
     """Undo partially applied operations, newest first."""
     for op, args in reversed(applied):
@@ -67,15 +89,61 @@ def _rollback(state: NetworkState, applied: list[tuple[str, tuple]]) -> None:
             state.reroute(flow_id, old_path)
 
 
-class PlanExecutor:
-    """Applies event plans to a network state and accounts their time."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry knobs for execution on an unreliable control plane.
 
-    def __init__(self, timing: TimingModel | None = None):
+    Attributes:
+        max_retries: additional attempts after the first failure.
+        backoff_s: wait before the first retry; doubles each retry
+            (``backoff_s * backoff_factor ** (attempt - 1)``).
+        backoff_factor: exponential backoff multiplier.
+        deadline_s: per-plan budget of simulated seconds (attempt time +
+            backoff). Execution aborts once the next wait would exceed it,
+            even with retries remaining.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    deadline_s: float = math.inf
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+
+class PlanExecutor:
+    """Applies event plans to a network state and accounts their time.
+
+    Args:
+        timing: simulated-time model for plan/migration/install costs.
+        control_plane: per-operation failure/latency model; ``None`` (or
+            any :attr:`~repro.sim.controlplane.ControlPlane.reliable`
+            model) takes the historical infallible path.
+        retry: retry/backoff/deadline policy used when ``control_plane``
+            is unreliable.
+    """
+
+    def __init__(self, timing: TimingModel | None = None,
+                 control_plane=None, retry: RetryPolicy | None = None):
         self._timing = timing or TimingModel()
+        self._control_plane = control_plane
+        self._retry = retry or RetryPolicy()
 
     @property
     def timing(self) -> TimingModel:
         return self._timing
+
+    @property
+    def retry(self) -> RetryPolicy:
+        return self._retry
 
     def execute(self, state: NetworkState, plan: EventPlan,
                 start_time: float) -> ExecutionRecord:
@@ -83,22 +151,111 @@ class PlanExecutor:
 
         Returns an :class:`ExecutionRecord` whose ``finish_setup_time`` is
         when all the event's flows are installed and running; their
-        transmissions then complete on their own service times.
+        transmissions then complete on their own service times. On an
+        unreliable control plane the record also carries the attempts made
+        and the simulated time lost to retries.
 
         Raises:
             PlanningError: the plan has blocked flows (callers must only
                 execute feasible plans).
-            InsufficientBandwidthError: the state changed since planning and
-                the plan no longer fits — the caller should replan.
+            PlacementError: the state changed since planning and the plan
+                no longer fits — the caller should replan. Not retried
+                (the same state rejects the same plan); state is rolled
+                back before this propagates.
+            ControlPlaneError: every attempt failed on the control plane
+                or the retry deadline elapsed; state is rolled back.
         """
-        rerouted = apply_plan(state, plan)
+        cp = self._control_plane
         migration_time = self._timing.migration_time(plan.migrations)
         install_time = self._timing.install_time(len(plan.flow_plans))
-        return ExecutionRecord(
-            plan=plan,
-            start_time=start_time,
-            migration_time=migration_time,
-            install_time=install_time,
-            finish_setup_time=start_time + migration_time + install_time,
-            rerouted_flow_ids=tuple(rerouted),
-        )
+        if cp is None or cp.reliable:
+            rerouted = apply_plan(state, plan)
+            return ExecutionRecord(
+                plan=plan,
+                start_time=start_time,
+                migration_time=migration_time,
+                install_time=install_time,
+                finish_setup_time=start_time + migration_time + install_time,
+                rerouted_flow_ids=tuple(rerouted),
+            )
+        _check_feasible(plan)
+        base_time = migration_time + install_time
+        elapsed = 0.0
+        attempts = 0
+        while True:
+            attempts += 1
+            jitter = cp.attempt_jitter_s()
+            rerouted = self._attempt(state, plan, cp)
+            # A failed attempt still occupied the control plane for the
+            # full issue-and-wait window; charge it like a successful one.
+            elapsed += base_time + jitter
+            if rerouted is not None:
+                return ExecutionRecord(
+                    plan=plan,
+                    start_time=start_time,
+                    migration_time=migration_time,
+                    install_time=install_time,
+                    finish_setup_time=start_time + elapsed,
+                    rerouted_flow_ids=tuple(rerouted),
+                    attempts=attempts,
+                    retry_time=elapsed - base_time,
+                )
+            retries_left = self._retry.max_retries - (attempts - 1)
+            backoff = (self._retry.backoff_s
+                       * self._retry.backoff_factor ** (attempts - 1))
+            if retries_left <= 0:
+                raise ControlPlaneError(
+                    f"event {plan.event.event_id}: all {attempts} "
+                    f"execution attempts failed on the control plane",
+                    attempts=attempts, elapsed=elapsed)
+            if elapsed + backoff > self._retry.deadline_s:
+                raise ControlPlaneError(
+                    f"event {plan.event.event_id}: execution deadline "
+                    f"{self._retry.deadline_s:.3f}s exceeded after "
+                    f"{attempts} attempt(s)",
+                    attempts=attempts, elapsed=elapsed)
+            elapsed += backoff
+
+    def _attempt(self, state: NetworkState, plan: EventPlan,
+                 cp) -> list[str] | None:
+        """One execution attempt under ``cp``.
+
+        Returns the rerouted flow ids on success, or ``None`` when the
+        control plane failed an operation — in both the failure and the
+        placement-divergence case every operation already applied is rolled
+        back, so the state is bit-identical to before the attempt. That
+        includes the version counters (the roll-forward/roll-back pair
+        would otherwise bump them with no net change), so memoized probe
+        plans stay provably fresh across a failed attempt.
+        """
+        versions = state.version_snapshot() \
+            if hasattr(state, "version_snapshot") else None
+        applied: list[tuple[str, tuple]] = []
+        rerouted: list[str] = []
+
+        def undo() -> None:
+            _rollback(state, applied)
+            if versions is not None:
+                state.restore_versions(versions)
+
+        try:
+            for flow_plan in plan.flow_plans:
+                for migration in flow_plan.migrations:
+                    if not cp.migration_ok():
+                        undo()
+                        return None
+                    old = state.placement(migration.flow.flow_id)
+                    state.reroute(migration.flow.flow_id,
+                                  migration.new_path)
+                    applied.append(("reroute", (migration.flow.flow_id,
+                                                old.path)))
+                    rerouted.append(migration.flow.flow_id)
+                if not cp.install_ok():
+                    undo()
+                    return None
+                state.place(flow_plan.flow, flow_plan.path)
+                applied.append(("place", (flow_plan.flow.flow_id,)))
+        except (PlacementError, TopologyError):
+            undo()
+            raise
+        return rerouted

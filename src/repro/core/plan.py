@@ -108,6 +108,10 @@ class ExecutionRecord:
         migration_time: simulated seconds spent draining migrations.
         install_time: simulated seconds spent installing the event's flows.
         finish_setup_time: time at which all event flows were running.
+        attempts: execution attempts made (1 on a reliable control plane).
+        retry_time: simulated seconds lost to failed attempts, backoff
+            waits, and control-plane latency jitter; included in
+            ``finish_setup_time``.
     """
 
     plan: EventPlan
@@ -116,3 +120,5 @@ class ExecutionRecord:
     install_time: float = 0.0
     finish_setup_time: float = 0.0
     rerouted_flow_ids: tuple[str, ...] = field(default=())
+    attempts: int = 1
+    retry_time: float = 0.0

@@ -42,6 +42,7 @@ FIGURES = {
     "ablation-rules": ablations.rule_budget_sweep,
     "robustness-topology": robustness.topology_sweep,
     "robustness-oracle": robustness.oracle_comparison,
+    "robustness-failures": robustness.failure_sweep,
 }
 
 __all__ = [

@@ -137,16 +137,25 @@ class Scenario:
             plan_s_per_op=self.defaults.plan_s_per_op)
 
     def simulator(self, scheduler: Scheduler,
-                  round_barrier: str = "completion") -> UpdateSimulator:
-        """A simulator over a fresh network copy for one scheduler run."""
+                  round_barrier: str = "completion",
+                  control_plane=None, faults=None,
+                  max_deferrals: int | None = None) -> UpdateSimulator:
+        """A simulator over a fresh network copy for one scheduler run.
+
+        ``control_plane``/``faults``/``max_deferrals`` wire in the fault
+        pipeline (see :mod:`repro.sim.faults`); the defaults keep the
+        legacy fault-free, infallible setup bit-for-bit.
+        """
         config = SimulationConfig(seed=self.seed + 5,
                                   background_churn=self.churn,
-                                  round_barrier=round_barrier)
+                                  round_barrier=round_barrier,
+                                  max_deferrals=max_deferrals)
         churn_trace = self.background_trace(seed_offset=50) \
             if self.churn else None
         return UpdateSimulator(self.loaded_network(), self.provider,
                                scheduler, timing=self.timing(),
-                               config=config, churn_trace=churn_trace)
+                               config=config, churn_trace=churn_trace,
+                               control_plane=control_plane, faults=faults)
 
     def with_(self, **changes) -> "Scenario":
         """A modified copy (dataclass ``replace`` that resets caches)."""

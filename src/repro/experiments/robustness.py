@@ -173,6 +173,103 @@ def _topology_grid(seed: int, events: int, utilization: float, jobs,
     return merged
 
 
+#: Control-plane unreliability used by the failure sweep: a few percent of
+#: rule installs / migration drains fail per attempt, with a little
+#: per-attempt latency jitter. Held fixed across fault rates so the sweep
+#: isolates the *fault-rate* axis.
+FAILURE_SWEEP_CONTROL_PLANE = {
+    "install_failure_prob": 0.02,
+    "migration_failure_prob": 0.02,
+    "jitter_s": 0.01,
+}
+
+
+def failure_cell(seed: int, events: int, utilization: float,
+                 fault_rate: float, horizon: float, scheduler: dict,
+                 control_plane: dict | None, max_deferrals: int) -> dict:
+    """Worker: one scheduler under one fault rate on the paper scenario.
+
+    ``fault_rate`` is expected link faults per simulated second, realized
+    by a :class:`~repro.sim.faults.FaultProcess` seeded from the cell
+    params — the whole cell is a pure function of its JSON spec, so the
+    parallel runner's determinism guarantee extends to faulted runs.
+    """
+    from repro.experiments.common import Scenario
+    from repro.sim.controlplane import build_control_plane
+    from repro.sim.faults import build_fault_source
+    scenario = Scenario(utilization=utilization, seed=seed, events=events,
+                        churn=True, event_config=heterogeneous_config())
+    queue = scenario.generate_events()
+    faults = build_fault_source(
+        {"rate": fault_rate, "horizon": horizon, "seed": seed + 77}
+        if fault_rate > 0 else None)
+    simulator = scenario.simulator(
+        build_scheduler(scheduler),
+        control_plane=build_control_plane(control_plane),
+        faults=faults, max_deferrals=max_deferrals)
+    simulator.submit(queue)
+    return {"metrics": simulator.run().to_dict()}
+
+
+def failure_sweep(seed: int = 0, events: int = 20,
+                  utilization: float = 0.6,
+                  fault_rates=(0.0, 0.02, 0.05, 0.1),
+                  horizon: float = 120.0, max_deferrals: int = 5,
+                  jobs: int | None = None, checkpoint=None,
+                  resume: bool = False, listener=None) -> ExperimentResult:
+    """FIFO/LMTF/P-LMTF under rising mid-run fault rates.
+
+    Every cell runs with the same mildly unreliable control plane
+    (:data:`FAILURE_SWEEP_CONTROL_PLANE`) and a seeded link-fault process
+    at its row's rate; stranded traffic is re-homed through auto-generated
+    repair events competing in the ordinary update queue. Always routed
+    through the cell runner, so results are invariant to ``jobs`` and to
+    interruption/resume.
+    """
+    from repro.sim.metrics import RunMetrics
+    schedulers = (
+        {"kind": "fifo"},
+        {"kind": "lmtf", "alpha": 4, "seed": seed + 9},
+        {"kind": "plmtf", "alpha": 4, "seed": seed + 9},
+    )
+    cells = []
+    labels = []
+    for rate in fault_rates:
+        for sched in schedulers:
+            sname = scheduler_name(sched)
+            cells.append(Cell(
+                key=f"rate={rate}/{sname}",
+                fn="repro.experiments.robustness:failure_cell",
+                params={"seed": seed, "events": events,
+                        "utilization": utilization, "fault_rate": rate,
+                        "horizon": horizon, "scheduler": dict(sched),
+                        "control_plane": dict(FAILURE_SWEEP_CONTROL_PLANE),
+                        "max_deferrals": max_deferrals}))
+            labels.append((rate, sname))
+    outcomes = run_cells(cells, jobs=jobs or 1, checkpoint=checkpoint,
+                         resume=resume, listener=listener)
+    result = ExperimentResult(
+        name="robustness-failures",
+        title=f"schedulers under mid-run failures ({events} events, "
+              f"utilization ~{utilization:.0%}, horizon {horizon:.0f}s)",
+        columns=["fault_rate", "scheduler", "avg_ect", "faults", "retries",
+                 "deferrals", "dropped", "stranded_mbps"],
+        params={"seed": seed, "events": events,
+                "control_plane": dict(FAILURE_SWEEP_CONTROL_PLANE),
+                "max_deferrals": max_deferrals})
+    for cell, (rate, sname) in zip(cells, labels):
+        run = RunMetrics.from_dict(outcomes[cell.key].value["metrics"])
+        result.add_row(fault_rate=rate, scheduler=sname,
+                       avg_ect=run.average_ect,
+                       faults=run.faults_injected, retries=run.retries,
+                       deferrals=run.deferrals, dropped=run.dropped_events,
+                       stranded_mbps=run.stranded_traffic)
+    result.notes.append("faults strand flows mid-run; repairs are enqueued "
+                        "as ordinary update events, so the scheduler's "
+                        "queueing policy also governs recovery time")
+    return result
+
+
 def oracle_comparison(seed: int = 0, events: int = 30,
                       utilization: float = 0.7, jobs: int | None = None,
                       checkpoint=None, resume: bool = False,

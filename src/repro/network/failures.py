@@ -9,6 +9,12 @@ library schedules: failing a component strands the flows crossing it, and
 
 Failures are modelled on the *network bookkeeping* level — failed links get
 capacity 0 so nothing can be placed across them — and are reversible.
+Failures may overlap (a switch failure and then one of its links, or the
+same link twice): the injector reference-counts each link's failures and
+restores the link's *original* capacity only when the last failure covering
+it heals, so heal order cannot corrupt capacities. Records are tracked by
+identity, not field equality — two injections with identical fields are
+distinct failures and heal independently.
 """
 
 from __future__ import annotations
@@ -22,9 +28,17 @@ from repro.network.link import LinkId
 from repro.network.network import Network
 
 
-@dataclass
+@dataclass(eq=False)
 class FailureRecord:
-    """What a failure injection did, with everything needed to undo it."""
+    """What a failure injection did, with everything needed to undo it.
+
+    ``eq=False``: records compare (and hash) by identity, so two
+    field-equal injections are never confused by membership checks.
+    ``_saved_capacities`` maps each failed link to the capacity it showed
+    immediately before *this* record zeroed it (0.0 for a link some
+    earlier, still-active failure had already taken down); the injector
+    itself restores from its first-failure snapshot, not from this field.
+    """
 
     description: str
     failed_links: tuple[LinkId, ...]
@@ -32,17 +46,35 @@ class FailureRecord:
     _saved_capacities: dict[LinkId, float] = field(default_factory=dict,
                                                    repr=False)
 
+    @property
+    def stranded_demand(self) -> float:
+        """Total bandwidth demand of the flows this failure stranded."""
+        return sum(flow.demand for flow in self.stranded)
+
 
 class FailureInjector:
     """Injects and heals link/switch failures on a live network."""
 
     def __init__(self, network: Network):
         self._network = network
-        self._active: list[FailureRecord] = []
+        # id(record) -> record; identity keys make heal() O(links) instead
+        # of an O(active) dataclass-equality scan, and keep field-equal
+        # records distinct.
+        self._active: dict[int, FailureRecord] = {}
+        # Per-link stack of active records covering the link, plus the
+        # capacity the link had before its *first* active failure. The
+        # original is restored only when the stack empties, so overlapping
+        # failures can heal in any order.
+        self._covering: dict[LinkId, list[FailureRecord]] = {}
+        self._original_capacity: dict[LinkId, float] = {}
 
     @property
-    def active_failures(self) -> list[FailureRecord]:
-        return list(self._active)
+    def active_failures(self) -> tuple[FailureRecord, ...]:
+        """Active failure records, oldest first (immutable snapshot)."""
+        return tuple(self._active.values())
+
+    def is_active(self, record: FailureRecord) -> bool:
+        return id(record) in self._active
 
     # -------------------------------------------------------------- failing
 
@@ -76,35 +108,55 @@ class FailureInjector:
     def _fail(self, links: list[LinkId], description: str) -> FailureRecord:
         stranded_flows: dict[str, Flow] = {}
         for link in links:
-            for flow_id in self._network.flows_on_link(*link):
+            # flows_on_link is a frozenset; sort so the stranded order (and
+            # hence the repair event's flow order, which the planner is
+            # sensitive to) is stable under per-process hash randomization.
+            for flow_id in sorted(self._network.flows_on_link(*link)):
                 placement = self._network.placement(flow_id)
                 stranded_flows[flow_id] = placement.flow
         for flow_id in stranded_flows:
             self._network.remove(flow_id)
         saved = {}
-        for link in links:
-            saved[link] = self._network.capacity(*link)
-            self._network._set_capacity(*link, 0.0)
         record = FailureRecord(description=description,
                                failed_links=tuple(links),
                                stranded=tuple(stranded_flows.values()),
                                _saved_capacities=saved)
-        self._active.append(record)
+        for link in links:
+            saved[link] = self._network.capacity(*link)
+            covering = self._covering.setdefault(link, [])
+            if not covering:
+                # First failure covering this link: snapshot the true
+                # capacity before zeroing it.
+                self._original_capacity[link] = saved[link]
+                self._network._set_capacity(*link, 0.0)
+            covering.append(record)
+        self._active[id(record)] = record
         return record
 
     # -------------------------------------------------------------- healing
 
     def heal(self, record: FailureRecord) -> None:
-        """Restore the capacities a failure zeroed (flows stay gone — the
-        repair event is responsible for re-homing them)."""
-        if record not in self._active:
+        """Undo one failure (flows stay gone — the repair event is
+        responsible for re-homing them).
+
+        A link's capacity is restored to its pre-failure value only once
+        *no* active failure covers it anymore; healing overlapping
+        failures in any order therefore never resurrects a link some other
+        failure still holds down, and never restores a stale 0.0.
+        """
+        if id(record) not in self._active:
             raise ValueError(f"failure {record.description!r} is not active")
-        for link, capacity in record._saved_capacities.items():
-            self._network._set_capacity(*link, capacity)
-        self._active.remove(record)
+        for link in record.failed_links:
+            covering = self._covering[link]
+            covering[:] = [r for r in covering if r is not record]
+            if not covering:
+                del self._covering[link]
+                self._network._set_capacity(
+                    *link, self._original_capacity.pop(link))
+        del self._active[id(record)]
 
     def heal_all(self) -> None:
-        for record in list(self._active):
+        for record in list(self._active.values()):
             self.heal(record)
 
 

@@ -311,9 +311,14 @@ class Network(NetworkState):
 
         Capacities are otherwise immutable; ``FailureInjector`` zeroes them
         to take links down and restores them on heal. Views pick the change
-        up immediately — they read the shared capacity column.
+        up immediately — they read the shared capacity column. The link's
+        version counter is bumped so every probe-cache entry whose
+        footprint touches the link is invalidated: a cached plan computed
+        before the failure is provably stale once the capacity changed.
         """
-        self._cap_col[self._link_index(u, v)] = value
+        i = self._link_index(u, v)
+        self._cap_col[i] = value
+        self._ver_col[i] += 1
 
     def _validate_path(self, path: tuple[str, ...]) -> None:
         if not is_simple_path(path):
@@ -336,6 +341,26 @@ class Network(NetworkState):
     def node_version(self, node: str) -> int:
         ni = self._node_index.get(node)
         return self._node_ver_col[ni] if ni is not None else 0
+
+    def version_snapshot(self) -> tuple[list[int], list[int]]:
+        """Copies of the link/node version columns, for
+        :meth:`restore_versions`."""
+        return list(self._ver_col), list(self._node_ver_col)
+
+    def restore_versions(self,
+                         snapshot: tuple[list[int], list[int]]) -> None:
+        """Reset the version counters to a snapshot of this network.
+
+        Only valid when the state *content* is bit-identical to what it was
+        at snapshot time. The executor uses this after rolling back a
+        failed execution attempt: the roll-forward/roll-back pair bumps
+        every touched link's counter even though nothing net-changed, and
+        restoring the counters keeps memoized probe plans provably fresh
+        across the no-op attempt.
+        """
+        ver, node_ver = snapshot
+        self._ver_col[:] = ver
+        self._node_ver_col[:] = node_ver
 
     # ----------------------------------------------------------- rule space
 

@@ -149,6 +149,25 @@ class ProbeCache:
         """Record that ``key``'s latest plan could not be memoized."""
         self._skip[key] = self.UNCACHEABLE_BACKOFF
 
+    def forget_event(self, event_id: str) -> int:
+        """Evict every entry (and backoff credit) keyed to ``event_id``.
+
+        Returns how many plan entries were dropped. Used when an event
+        leaves the queue for good without being admitted — e.g. dropped
+        after exhausting its requeue deferrals under faults — so its stale
+        keys stop occupying cache slots. Mid-run *capacity* changes (link
+        failures/heals) need no explicit eviction: ``_set_capacity`` bumps
+        the link's version column, so any entry whose footprint touches the
+        failed link fails :meth:`lookup`'s freshness check and self-evicts
+        as an invalidation.
+        """
+        stale = [key for key in self._entries if key[0] == event_id]
+        for key in stale:
+            del self._entries[key]
+        for key in [key for key in self._skip if key[0] == event_id]:
+            del self._skip[key]
+        return len(stale)
+
     def drain_round(self) -> CacheStats:
         """Return and reset the per-round counters (totals keep running)."""
         stats, self._round = self._round, CacheStats()

@@ -1,0 +1,171 @@
+"""Models of an unreliable SDN control plane.
+
+The executor historically assumed every rule install and migration drain
+succeeds instantly and atomically. Real control planes drop rule-install
+messages, time out on busy switches, and jitter on latency — which is why
+the consistent-update literature treats updates as long-running, failable
+operations. A :class:`ControlPlane` decides, per elementary operation of an
+execution attempt, whether that operation succeeds, and how much extra
+latency the attempt pays.
+
+Determinism contract
+--------------------
+* :class:`ReliableControlPlane` (and ``control_plane=None``) never draws
+  randomness and never adds latency; the executor detects it via
+  :attr:`ControlPlane.reliable` and takes the exact historical code path,
+  so reliable runs are byte-identical to pre-fault-subsystem runs.
+* :class:`UnreliableControlPlane` owns a private ``random.Random(seed)``.
+  It never touches the planner's or scheduler's RNG streams, so enabling
+  it cannot perturb path tiebreaks — only the injected failures differ.
+  Runs are a pure function of the seed, which is what keeps a faulted
+  ``--jobs N`` sweep byte-identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+
+class ControlPlane:
+    """Per-operation success/latency oracle consulted by the executor.
+
+    The base class is perfectly reliable; subclasses override the three
+    sampling hooks. The executor consults :attr:`reliable` once per
+    ``execute`` call and skips the retry machinery (and all sampling)
+    entirely when it is True.
+    """
+
+    @property
+    def reliable(self) -> bool:
+        """True when no operation can ever fail and latency never jitters.
+
+        The executor uses this to take the historical fast path; a subclass
+        that can fail must return False even if its current probabilities
+        happen to be zero-ish.
+        """
+        return True
+
+    def migration_ok(self) -> bool:
+        """Whether one migration drain (reroute) succeeds."""
+        return True
+
+    def install_ok(self) -> bool:
+        """Whether one flow's rule install succeeds."""
+        return True
+
+    def attempt_jitter_s(self) -> float:
+        """Extra control-plane latency charged to one execution attempt."""
+        return 0.0
+
+
+class ReliableControlPlane(ControlPlane):
+    """The perfect control plane (explicit spelling of the default)."""
+
+
+class UnreliableControlPlane(ControlPlane):
+    """Seeded stochastic control plane with per-operation failure modes.
+
+    Args:
+        install_failure_prob: probability one rule install fails.
+        migration_failure_prob: probability one migration drain fails.
+        jitter_s: per-attempt latency jitter, drawn uniformly from
+            ``[0, jitter_s]`` seconds.
+        seed: seed of the model's private RNG.
+    """
+
+    def __init__(self, install_failure_prob: float = 0.0,
+                 migration_failure_prob: float = 0.0,
+                 jitter_s: float = 0.0, seed: int = 0):
+        for name, p in (("install_failure_prob", install_failure_prob),
+                        ("migration_failure_prob", migration_failure_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {jitter_s}")
+        self.install_failure_prob = install_failure_prob
+        self.migration_failure_prob = migration_failure_prob
+        self.jitter_s = jitter_s
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    @property
+    def reliable(self) -> bool:
+        return (self.install_failure_prob == 0.0
+                and self.migration_failure_prob == 0.0
+                and self.jitter_s == 0.0)
+
+    def migration_ok(self) -> bool:
+        if self.migration_failure_prob == 0.0:
+            return True
+        return self._rng.random() >= self.migration_failure_prob
+
+    def install_ok(self) -> bool:
+        if self.install_failure_prob == 0.0:
+            return True
+        return self._rng.random() >= self.install_failure_prob
+
+    def attempt_jitter_s(self) -> float:
+        if self.jitter_s == 0.0:
+            return 0.0
+        return self._rng.uniform(0.0, self.jitter_s)
+
+    def __repr__(self) -> str:
+        return (f"UnreliableControlPlane(install={self.install_failure_prob}"
+                f", migration={self.migration_failure_prob}, "
+                f"jitter={self.jitter_s}s, seed={self.seed})")
+
+
+class ScriptedControlPlane(ControlPlane):
+    """Replays a fixed success/failure script, one entry per operation.
+
+    Deterministic by construction — used by tests (and debugging) to force
+    a failure at an exact operation of an exact attempt. Once the script is
+    exhausted every further operation succeeds.
+
+    Args:
+        outcomes: success flags consumed in operation order (migrations
+            before the install, per flow plan, attempts back to back).
+        jitter_s: constant per-attempt latency (no randomness).
+    """
+
+    def __init__(self, outcomes: Iterable[bool], jitter_s: float = 0.0):
+        self._outcomes = list(outcomes)
+        self._cursor = 0
+        self.jitter_s = jitter_s
+
+    @property
+    def reliable(self) -> bool:
+        return False
+
+    def _next(self) -> bool:
+        if self._cursor >= len(self._outcomes):
+            return True
+        outcome = self._outcomes[self._cursor]
+        self._cursor += 1
+        return outcome
+
+    def migration_ok(self) -> bool:
+        return self._next()
+
+    def install_ok(self) -> bool:
+        return self._next()
+
+    def attempt_jitter_s(self) -> float:
+        return self.jitter_s
+
+    @property
+    def consumed(self) -> int:
+        """How many scripted outcomes have been consumed."""
+        return self._cursor
+
+
+def build_control_plane(spec: dict | None) -> ControlPlane | None:
+    """Build a control plane from a JSON-serializable spec (worker cells).
+
+    ``None`` / ``{}`` → None (the reliable default); otherwise the spec's
+    keys are :class:`UnreliableControlPlane` kwargs.
+    """
+    if not spec:
+        return None
+    return UnreliableControlPlane(**spec)

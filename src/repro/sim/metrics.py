@@ -30,6 +30,8 @@ class EventRecord:
     cost: float = 0.0
     migrations: int = 0
     rounds_waited: int = 0
+    deferrals: int = 0
+    dropped: bool = False
 
     @property
     def completed(self) -> bool:
@@ -87,6 +89,21 @@ class RunMetrics:
     probe_cache_hits: int = 0
     probe_cache_misses: int = 0
     probe_cache_invalidations: int = 0
+    # Robustness counters (all zero on fault-free, reliable runs).
+    # ``event_count`` and the per-event aggregates cover *completed* events;
+    # ``dropped_events`` counts events evicted after exhausting their
+    # requeue deferrals, and ``stranded_traffic`` is the total bandwidth
+    # demand (Mbit/s) of update flows that were never re-homed — dropped
+    # events' unplaced flows. ``total_cost`` still includes migrations a
+    # later-dropped event realized before it stalled: that traffic really
+    # moved. ``retries`` counts failed execution attempts (control plane);
+    # ``deferrals`` counts requeues (execution failure or stall).
+    retries: int = 0
+    deferrals: int = 0
+    dropped_events: int = 0
+    stranded_traffic: float = 0.0
+    faults_injected: int = 0
+    faults_healed: int = 0
 
     @property
     def probe_cache_hit_rate(self) -> float:
@@ -124,11 +141,18 @@ class RunMetrics:
         ``total_cost`` is migrated traffic *volume* (Mbit), not a rate —
         see the unit conventions in :mod:`repro.core.flow`.
         """
-        return (f"{self.scheduler}: events={self.event_count} "
+        line = (f"{self.scheduler}: events={self.event_count} "
                 f"avgECT={self.average_ect:.2f}s tailECT={self.tail_ect:.2f}s "
                 f"cost={self.total_cost:.0f}Mbit "
                 f"avgQD={self.average_queuing_delay:.2f}s "
                 f"planT={self.total_plan_time:.3f}s rounds={self.rounds}")
+        if self.faults_injected or self.retries or self.dropped_events:
+            line += (f" faults={self.faults_injected} "
+                     f"retries={self.retries} "
+                     f"deferrals={self.deferrals} "
+                     f"dropped={self.dropped_events} "
+                     f"stranded={self.stranded_traffic:.0f}Mbps")
+        return line
 
 
 class MetricsCollector:
@@ -143,6 +167,11 @@ class MetricsCollector:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_invalidations = 0
+        self._retries = 0
+        self._deferrals = 0
+        self._stranded_traffic = 0.0
+        self._faults_injected = 0
+        self._faults_healed = 0
 
     # --------------------------------------------------------------- record
 
@@ -190,6 +219,39 @@ class MetricsCollector:
         record.completion_time = time
         self._makespan = max(self._makespan, time)
 
+    # -------------------------------------------------------- fault pipeline
+
+    def on_retries(self, count: int) -> None:
+        """Account ``count`` failed execution attempts (control plane)."""
+        self._retries += count
+
+    def on_deferral(self, event_id: str) -> None:
+        """The event was requeued (execution failure or placement stall)."""
+        self._record(event_id).deferrals += 1
+        self._deferrals += 1
+
+    def on_drop(self, event_id: str, time: float,
+                stranded_demand: float) -> None:
+        """The event was evicted after exhausting its deferrals.
+
+        ``stranded_demand`` is the total demand of its never-placed flows;
+        it accumulates into ``RunMetrics.stranded_traffic``. Dropped events
+        are excluded from completion aggregates but keep any cost they
+        realized before stalling.
+        """
+        record = self._record(event_id)
+        if record.dropped:
+            raise ValueError(f"event {event_id} dropped twice")
+        record.dropped = True
+        self._stranded_traffic += stranded_demand
+        self._makespan = max(self._makespan, time)
+
+    def on_fault(self) -> None:
+        self._faults_injected += 1
+
+    def on_heal(self) -> None:
+        self._faults_healed += 1
+
     def _record(self, event_id: str) -> EventRecord:
         try:
             return self._records[event_id]
@@ -203,16 +265,24 @@ class MetricsCollector:
         return dict(self._records)
 
     def incomplete_events(self) -> list[str]:
-        return [eid for eid, r in self._records.items() if not r.completed]
+        """Events neither completed nor dropped — a drained run must have
+        none; dropped events are accounted, not incomplete."""
+        return [eid for eid, r in self._records.items()
+                if not r.completed and not r.dropped]
 
     def finalize(self) -> RunMetrics:
-        """Build the aggregate metrics; every event must have completed."""
+        """Build the aggregate metrics; every event must have completed or
+        been dropped. Completion aggregates (ECT, delays, per-event arrays)
+        cover completed events; dropped events contribute only their
+        realized cost, the drop counter, and stranded traffic."""
         incomplete = self.incomplete_events()
         if incomplete:
             raise ValueError(f"{len(incomplete)} events never completed: "
                              f"{incomplete[:5]}")
-        records = sorted(self._records.values(),
-                         key=lambda r: r.arrival_time)
+        everything = sorted(self._records.values(),
+                            key=lambda r: r.arrival_time)
+        records = [r for r in everything if not r.dropped]
+        dropped = [r for r in everything if r.dropped]
         ects = [r.ect for r in records]
         delays = [r.queuing_delay for r in records]
         costs = [r.cost for r in records]
@@ -220,8 +290,8 @@ class MetricsCollector:
         return RunMetrics(
             scheduler=self._scheduler,
             event_count=count,
-            total_cost=sum(costs),
-            total_migrations=sum(r.migrations for r in records),
+            total_cost=sum(costs) + sum(r.cost for r in dropped),
+            total_migrations=sum(r.migrations for r in everything),
             average_ect=sum(ects) / count if count else 0.0,
             tail_ect=max(ects) if ects else 0.0,
             p95_ect=percentile(ects, 95) if ects else 0.0,
@@ -237,4 +307,10 @@ class MetricsCollector:
             probe_cache_hits=self._cache_hits,
             probe_cache_misses=self._cache_misses,
             probe_cache_invalidations=self._cache_invalidations,
+            retries=self._retries,
+            deferrals=self._deferrals,
+            dropped_events=len(dropped),
+            stranded_traffic=self._stranded_traffic,
+            faults_injected=self._faults_injected,
+            faults_healed=self._faults_healed,
         )

@@ -26,12 +26,19 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.event import UpdateEvent
-from repro.core.exceptions import InsufficientBandwidthError, SimulationError
-from repro.core.executor import PlanExecutor
+from repro.core.exceptions import (
+    ControlPlaneError,
+    InsufficientBandwidthError,
+    PlacementError,
+    SimulationError,
+)
+from repro.core.executor import PlanExecutor, RetryPolicy
 from repro.core.flow import Flow, FlowKind
 from repro.core.planner import EventPlanner
+from repro.network.failures import FailureInjector, repair_event
 from repro.network.network import Network
 from repro.network.routing.provider import PathProvider
+from repro.sim.faults import LinkFault, SwitchFault
 from repro.sched.base import (
     Admission,
     QueuedEvent,
@@ -78,6 +85,24 @@ class SimulationConfig:
             update application; admitted flows keep transmitting across
             subsequent rounds and contend with later events. Used by the
             model-sensitivity ablation.
+        exec_max_retries: execution attempts after the first failure on an
+            unreliable control plane (ignored on the reliable default).
+        exec_backoff_s: backoff before the first execution retry; doubles
+            per retry.
+        exec_deadline_s: per-plan budget of simulated execution seconds;
+            ``inf`` disables the deadline.
+        max_deferrals: requeue budget per event. An admitted event whose
+            execution fails is requeued (deferred); an event that can
+            never be placed while the run is otherwise stalled is likewise
+            deferred instead of deadlocking. Past this many deferrals the
+            event is *dropped* with accounting (``RunMetrics.
+            dropped_events`` / ``stranded_traffic``). ``None`` (default)
+            keeps the legacy strictness: execution failures still requeue,
+            but nothing is ever dropped and a permanent stall raises
+            :class:`SimulationError` as before.
+        repair_flow_duration: transmission duration given to the
+            replacement flows of auto-generated repair events (stranded
+            permanent background flows have none of their own).
     """
 
     seed: int = 0
@@ -87,12 +112,21 @@ class SimulationConfig:
     background_churn: bool = False
     churn_respawn: bool = True
     round_barrier: str = "completion"
+    exec_max_retries: int = 2
+    exec_backoff_s: float = 0.05
+    exec_deadline_s: float = math.inf
+    max_deferrals: int | None = None
+    repair_flow_duration: float = 30.0
 
     def __post_init__(self):
         if self.round_barrier not in ("completion", "setup"):
             raise ValueError(f"unknown round_barrier "
                              f"{self.round_barrier!r}; pick 'completion' "
                              f"or 'setup'")
+        if self.max_deferrals is not None and self.max_deferrals < 0:
+            raise ValueError("max_deferrals must be >= 0 or None")
+        if self.repair_flow_duration <= 0:
+            raise ValueError("repair_flow_duration must be positive")
 
 
 @dataclass
@@ -132,6 +166,17 @@ class UpdateSimulator:
             notified of rounds, admissions, completions and churn — pass a
             :class:`~repro.sim.tracelog.TraceLog` to capture a structured
             run log.
+        control_plane: optional
+            :class:`~repro.sim.controlplane.ControlPlane` under which rule
+            installs and migration drains can fail or jitter; executions
+            then retry with backoff (``config.exec_*``) and requeue on
+            exhaustion. ``None`` keeps the infallible legacy model.
+        faults: optional fault source — a
+            :class:`~repro.sim.faults.FaultSchedule` or seeded
+            :class:`~repro.sim.faults.FaultProcess` — whose link/switch
+            failures fire as engine events *during* the run. Stranded
+            flows are auto-packaged into repair events and enqueued at the
+            failure's simulated time.
     """
 
     def __init__(self, network: Network, provider: PathProvider,
@@ -139,14 +184,21 @@ class UpdateSimulator:
                  timing: TimingModel | None = None,
                  config: SimulationConfig | None = None,
                  churn_trace: TraceGenerator | None = None,
-                 listener: "SimulationListener | None" = None):
+                 listener: "SimulationListener | None" = None,
+                 control_plane=None, faults=None):
         self._network = network
         self._provider = provider
         self._scheduler = scheduler
         self._planner = planner or EventPlanner(provider)
         self._timing = timing or TimingModel()
-        self._executor = PlanExecutor(self._timing)
         self._config = config or SimulationConfig()
+        self._executor = PlanExecutor(
+            self._timing, control_plane=control_plane,
+            retry=RetryPolicy(max_retries=self._config.exec_max_retries,
+                              backoff_s=self._config.exec_backoff_s,
+                              deadline_s=self._config.exec_deadline_s))
+        self._faults = faults
+        self._injector = FailureInjector(network)
         if (self._config.background_churn and self._config.churn_respawn
                 and churn_trace is None):
             raise ValueError("background_churn with churn_respawn requires "
@@ -175,6 +227,7 @@ class UpdateSimulator:
         self._events_remaining = 0
         self._enqueue_seq = 0
         self._churn_deficit = 0
+        self._deferral_counts: dict[str, int] = {}
         self._ran = False
 
     # ------------------------------------------------------------ public API
@@ -221,6 +274,10 @@ class UpdateSimulator:
         for event in sorted(self._submitted, key=lambda e: e.arrival_time):
             self._engine.schedule_at(event.arrival_time,
                                      self._arrival_callback(event))
+        if self._faults is not None:
+            for spec in self._faults.materialize(self._network):
+                self._engine.schedule_at(spec.at,
+                                         self._fault_callback(spec))
         if self._config.background_churn:
             self._setup_churn()
         self._engine.run()
@@ -311,11 +368,149 @@ class UpdateSimulator:
                              cache_invalidations=prior.cache_invalidations)
 
     def _check_deadlock(self) -> None:
-        if self._round_outstanding == 0 and self._engine.pending == 0:
-            raise SimulationError(
-                f"deadlock: {len(self._queue)} events queued, nothing "
-                f"running, and no event can be placed (first blocked: "
-                f"{self._queue[0].event.event_id})")
+        if self._round_outstanding != 0 or self._engine.pending != 0:
+            return
+        if self._config.max_deferrals is not None:
+            self._handle_stall()
+            return
+        raise SimulationError(
+            f"deadlock: {len(self._queue)} events queued, nothing "
+            f"running, and no event can be placed (first blocked: "
+            f"{self._queue[0].event.event_id})")
+
+    def _handle_stall(self) -> None:
+        """Degrade gracefully when no queued event can ever be placed.
+
+        Nothing is running and no future engine event can change the state
+        (a post-failure partition is the canonical case), so waiting is
+        useless. Every stalled event is charged one deferral; events past
+        ``max_deferrals`` are dropped with accounting. Each pass strictly
+        increases deferral counts, so the stall resolves within
+        ``max_deferrals + 1`` passes instead of burning ``max_rounds`` —
+        and without tripping the stall fallback, which already ran and
+        found nothing feasible.
+        """
+        for queued in list(self._queue):
+            self._defer(queued, requeue=False)
+        if self._queue:
+            self._engine.schedule_at(self._engine.now, self._maybe_round)
+
+    # ------------------------------------------------------- defer and drop
+
+    def _exec_failed(self, admission: Admission, exc: Exception) -> None:
+        """An admitted plan's execution failed terminally; requeue it.
+
+        The executor has already rolled the network back to its
+        pre-attempt state, so the queued event (whose ``remaining`` flows
+        were never trimmed — that happens only after a successful execute)
+        simply goes back through :meth:`_defer`.
+        """
+        event_id = admission.queued.event.event_id
+        attempts = getattr(exc, "attempts", 1)
+        if attempts > 1:
+            self._metrics.on_retries(attempts - 1)
+        if self._listener is not None:
+            self._listener.on_exec_failure(self._engine.now, event_id,
+                                           attempts, str(exc))
+        self._defer(admission.queued)
+
+    def _defer(self, queued: QueuedEvent, requeue: bool = True) -> None:
+        """Charge ``queued`` one deferral; requeue or drop it.
+
+        ``requeue`` moves the event to the back of the queue with a fresh
+        sequence number, so FIFO treats it as newly arrived — a failed
+        event must not wedge the queue head. Stall passes keep the order
+        (``requeue=False``): every stalled event is charged together and
+        relative order carries no information.
+        """
+        event_id = queued.event.event_id
+        count = self._deferral_counts.get(event_id, 0) + 1
+        self._deferral_counts[event_id] = count
+        self._metrics.on_deferral(event_id)
+        if self._listener is not None:
+            self._listener.on_deferral(self._engine.now, event_id, count)
+        limit = self._config.max_deferrals
+        if limit is not None and count > limit:
+            self._drop_event(queued)
+            return
+        if requeue:
+            self._queue.remove(queued)
+            queued.seq = self._enqueue_seq
+            self._enqueue_seq += 1
+            self._queue.append(queued)
+
+    def _drop_event(self, queued: QueuedEvent) -> None:
+        """Evict an event that exhausted its requeue deferrals.
+
+        Its never-placed flows' demand is accounted as stranded traffic;
+        any cost it realized through earlier partial admissions stays in
+        the metrics (that traffic really moved). The probe cache forgets
+        the event's keys so they stop occupying slots.
+        """
+        event_id = queued.event.event_id
+        self._queue.remove(queued)
+        stranded = sum(flow.demand for flow in queued.remaining)
+        self._metrics.on_drop(event_id, self._engine.now, stranded)
+        self._events_remaining -= 1
+        cache = getattr(self._scheduler, "cache", None)
+        if cache is not None:
+            cache.forget_event(event_id)
+        if self._listener is not None:
+            self._listener.on_drop(self._engine.now, event_id, stranded)
+
+    # ---------------------------------------------------------------- faults
+
+    def _fault_callback(self, spec: "LinkFault | SwitchFault"):
+        def on_fault():
+            if isinstance(spec, LinkFault):
+                record = self._injector.fail_link(
+                    spec.u, spec.v, both_directions=spec.both_directions)
+            else:
+                record = self._injector.fail_switch(spec.switch)
+            self._metrics.on_fault()
+            if self._listener is not None:
+                self._listener.on_fault(self._engine.now, record.description,
+                                        len(record.stranded),
+                                        record.stranded_demand)
+            if record.stranded:
+                # Stranded flows (background traffic or mid-transmission
+                # update flows) become a repair event competing in the
+                # ordinary update queue, per the paper's framing of failure
+                # recovery as just another update-event source. Permanent
+                # background flows carry no finite duration of their own,
+                # so replacements always get the configured one.
+                repair = repair_event(
+                    record, arrival_time=self._engine.now,
+                    duration=self._config.repair_flow_duration)
+                self._enqueue_internal(repair)
+            if spec.heal_at is not None:
+                self._engine.schedule_at(spec.heal_at,
+                                         self._heal_callback(record))
+            # Re-check the queue: capacity loss cannot unblock anything,
+            # but if this fault was the last pending engine event the run
+            # must fall through to stall handling instead of draining with
+            # events still queued.
+            self._engine.schedule_at(self._engine.now, self._maybe_round)
+        return on_fault
+
+    def _heal_callback(self, record):
+        def on_heal():
+            self._injector.heal(record)
+            self._metrics.on_heal()
+            if self._listener is not None:
+                self._listener.on_heal(self._engine.now, record.description)
+            # Restored capacity may make queued events feasible again.
+            self._engine.schedule_at(self._engine.now, self._maybe_round)
+        return on_heal
+
+    def _enqueue_internal(self, event: UpdateEvent) -> None:
+        """Enqueue a simulator-generated event (a failure repair) mid-run."""
+        self._queue.append(QueuedEvent(event, seq=self._enqueue_seq))
+        self._enqueue_seq += 1
+        self._metrics.on_enqueue(event.event_id, self._engine.now,
+                                 len(event.flows))
+        self._events_remaining += 1
+        self._engine.schedule_at(self._engine.now, self._maybe_round)
 
     def _execute_round(self, decision: RoundDecision,
                        plan_time: float) -> None:
@@ -325,9 +520,21 @@ class UpdateSimulator:
         total_cost = 0.0
         round_end = exec_start
         for admission in decision.admissions:
-            record = self._executor.execute(self._network, admission.plan,
-                                            exec_start)
             event_id = admission.queued.event.event_id
+            try:
+                record = self._executor.execute(self._network, admission.plan,
+                                                exec_start)
+            except (ControlPlaneError, PlacementError) as exc:
+                # Rule installs / migration drains exhausted their retries
+                # (or the state no longer admits the plan). The executor
+                # already rolled the network back; charge the wasted
+                # simulated time to the round and requeue the event.
+                round_end = max(round_end,
+                                exec_start + getattr(exc, "elapsed", 0.0))
+                self._exec_failed(admission, exc)
+                continue
+            if record.attempts > 1:
+                self._metrics.on_retries(record.attempts - 1)
             admitted_ids.append(event_id)
             total_cost += admission.plan.cost
             round_end = max(round_end, record.finish_setup_time)
@@ -379,6 +586,11 @@ class UpdateSimulator:
             cache_invalidations=decision.cache_invalidations))
         if setup_barrier:
             self._engine.schedule_at(round_end, self._end_round)
+        elif self._round_outstanding == 0:
+            # Every admission failed and rolled back: no flow transmission
+            # will end this round, so end it once the wasted retry time has
+            # elapsed (the deferred events are already back in the queue).
+            self._engine.schedule_at(round_end, self._end_round)
         if self._config.verify_invariants:
             self._network.check_invariants()
 
@@ -392,7 +604,11 @@ class UpdateSimulator:
         setup_barrier = self._config.round_barrier == "setup"
 
         def on_finish():
-            self._network.remove(flow.flow_id)
+            # A mid-round fault may have stranded (removed) this flow; its
+            # replacement travels in a repair event, but the admission
+            # barrier still releases here at the nominal finish time.
+            if self._network.has_flow(flow.flow_id):
+                self._network.remove(flow.flow_id)
             self._event_outstanding[event_id] -= 1
             if self._listener is not None:
                 self._listener.on_flow_finish(self._engine.now,

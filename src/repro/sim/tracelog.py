@@ -40,6 +40,25 @@ class SimulationListener:
                  respawned: int) -> None:
         """A background flow completed (and may have been replaced)."""
 
+    def on_fault(self, time: float, description: str, stranded_flows: int,
+                 stranded_demand: float) -> None:
+        """A mid-run failure was injected, stranding the given traffic."""
+
+    def on_heal(self, time: float, description: str) -> None:
+        """A previously injected failure healed (capacity restored)."""
+
+    def on_exec_failure(self, time: float, event_id: str, attempts: int,
+                        reason: str) -> None:
+        """An admitted event's execution failed (after ``attempts`` tries)
+        and its state changes were rolled back."""
+
+    def on_deferral(self, time: float, event_id: str, count: int) -> None:
+        """An event was requeued; ``count`` is its total deferrals so far."""
+
+    def on_drop(self, time: float, event_id: str,
+                stranded_demand: float) -> None:
+        """An event was dropped after exhausting its requeue deferrals."""
+
 
 @dataclass
 class TraceRecord:
@@ -92,6 +111,25 @@ class TraceLog(SimulationListener):
         if self.capture_flows:
             self._add(time, "churn", flow=finished_flow_id,
                       respawned=respawned)
+
+    def on_fault(self, time, description, stranded_flows, stranded_demand):
+        self._add(time, "fault", what=description,
+                  stranded_flows=stranded_flows,
+                  stranded_demand=round(stranded_demand, 3))
+
+    def on_heal(self, time, description):
+        self._add(time, "heal", what=description)
+
+    def on_exec_failure(self, time, event_id, attempts, reason):
+        self._add(time, "exec_failure", event=event_id, attempts=attempts,
+                  reason=reason)
+
+    def on_deferral(self, time, event_id, count):
+        self._add(time, "deferral", event=event_id, count=count)
+
+    def on_drop(self, time, event_id, stranded_demand):
+        self._add(time, "drop", event=event_id,
+                  stranded_demand=round(stranded_demand, 3))
 
     # --------------------------------------------------------------- export
 

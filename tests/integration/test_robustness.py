@@ -94,3 +94,36 @@ class TestFailureRecoveryPipeline:
         from repro.core.exceptions import SimulationError
         with pytest.raises(SimulationError, match="deadlock"):
             simulator.run()
+
+
+class TestFailureSweep:
+    SWEEP = dict(seed=1, events=5, utilization=0.5,
+                 fault_rates=(0.0, 0.05), horizon=60.0)
+
+    def test_small_sweep_runs_with_accounting(self):
+        result = robustness.failure_sweep(**self.SWEEP)
+        assert len(result.rows) == 2 * 3  # 2 rates x 3 schedulers
+        by_rate = {}
+        for row in result.rows:
+            by_rate.setdefault(row["fault_rate"], []).append(row)
+        # The zero-rate rows ran the same unreliable control plane, so
+        # retries may be nonzero, but no faults can have been injected.
+        for row in by_rate[0.0]:
+            assert row["faults"] == 0
+        assert any(row["faults"] > 0 for row in by_rate[0.05])
+
+    def test_jobs2_matches_jobs1_byte_identical(self):
+        sequential = robustness.failure_sweep(**self.SWEEP, jobs=1)
+        parallel = robustness.failure_sweep(**self.SWEEP, jobs=2)
+        assert parallel.to_json() == sequential.to_json()
+
+    def test_resume_after_partial_checkpoint(self, tmp_path):
+        ck = tmp_path / "failures.jsonl"
+        reference = robustness.failure_sweep(**self.SWEEP, jobs=2,
+                                             checkpoint=ck)
+        lines = ck.read_text().splitlines()
+        assert len(lines) == 6
+        ck.write_text("\n".join(lines[:3]) + "\n")  # lose half the cells
+        resumed = robustness.failure_sweep(**self.SWEEP, jobs=1,
+                                           checkpoint=ck, resume=True)
+        assert resumed.to_json() == reference.to_json()

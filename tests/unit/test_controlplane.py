@@ -1,0 +1,88 @@
+"""Unit tests for the control-plane failure/latency models."""
+
+import pytest
+
+from repro.sim.controlplane import (
+    ReliableControlPlane,
+    ScriptedControlPlane,
+    UnreliableControlPlane,
+    build_control_plane,
+)
+
+
+class TestReliable:
+    def test_never_fails_never_jitters(self):
+        cp = ReliableControlPlane()
+        assert cp.reliable
+        assert all(cp.install_ok() for _ in range(50))
+        assert all(cp.migration_ok() for _ in range(50))
+        assert cp.attempt_jitter_s() == 0.0
+
+
+class TestUnreliable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnreliableControlPlane(install_failure_prob=1.5)
+        with pytest.raises(ValueError):
+            UnreliableControlPlane(migration_failure_prob=-0.1)
+        with pytest.raises(ValueError):
+            UnreliableControlPlane(jitter_s=-1.0)
+
+    def test_all_zero_knobs_report_reliable(self):
+        # The executor uses `reliable` to take the historical fast path;
+        # a zero-probability unreliable model must qualify.
+        assert UnreliableControlPlane().reliable
+        assert not UnreliableControlPlane(install_failure_prob=0.1).reliable
+        assert not UnreliableControlPlane(jitter_s=0.01).reliable
+
+    def test_deterministic_per_seed(self):
+        one = UnreliableControlPlane(install_failure_prob=0.5, seed=7)
+        two = UnreliableControlPlane(install_failure_prob=0.5, seed=7)
+        assert [one.install_ok() for _ in range(64)] == \
+            [two.install_ok() for _ in range(64)]
+
+    def test_eventually_fails(self):
+        cp = UnreliableControlPlane(install_failure_prob=0.5, seed=0)
+        assert not all(cp.install_ok() for _ in range(64))
+
+    def test_zero_prob_draws_no_randomness(self):
+        # With a knob at 0 the matching hook must not consume RNG state,
+        # otherwise enabling jitter alone would shift the failure stream.
+        cp = UnreliableControlPlane(install_failure_prob=0.0,
+                                    migration_failure_prob=0.5, seed=3)
+        ref = UnreliableControlPlane(migration_failure_prob=0.5, seed=3)
+        for _ in range(16):
+            assert cp.install_ok()
+        assert [cp.migration_ok() for _ in range(32)] == \
+            [ref.migration_ok() for _ in range(32)]
+
+    def test_jitter_bounded(self):
+        cp = UnreliableControlPlane(jitter_s=0.25, seed=1)
+        for _ in range(32):
+            assert 0.0 <= cp.attempt_jitter_s() <= 0.25
+
+
+class TestScripted:
+    def test_replays_script_then_succeeds(self):
+        cp = ScriptedControlPlane([False, True, False])
+        assert not cp.reliable
+        assert cp.migration_ok() is False
+        assert cp.install_ok() is True
+        assert cp.install_ok() is False
+        assert cp.consumed == 3
+        assert all(cp.install_ok() for _ in range(10))
+
+    def test_constant_jitter(self):
+        assert ScriptedControlPlane([], jitter_s=0.5).attempt_jitter_s() \
+            == 0.5
+
+
+class TestBuildControlPlane:
+    def test_none_and_empty(self):
+        assert build_control_plane(None) is None
+        assert build_control_plane({}) is None
+
+    def test_builds_unreliable(self):
+        cp = build_control_plane({"install_failure_prob": 0.1, "seed": 4})
+        assert isinstance(cp, UnreliableControlPlane)
+        assert cp.install_failure_prob == 0.1 and cp.seed == 4

@@ -6,13 +6,18 @@ import networkx as nx
 import pytest
 
 from repro.core.event import make_event
-from repro.core.exceptions import InsufficientBandwidthError, PlanningError
-from repro.core.executor import PlanExecutor, apply_plan
+from repro.core.exceptions import (
+    ControlPlaneError,
+    InsufficientBandwidthError,
+    PlanningError,
+)
+from repro.core.executor import PlanExecutor, RetryPolicy, apply_plan
 from repro.core.flow import Flow
 from repro.core.plan import EventPlan
 from repro.core.planner import EventPlanner
 from repro.network.routing.provider import PathProvider
 from repro.network.topology.custom import CustomTopology
+from repro.sim.controlplane import ScriptedControlPlane
 from repro.sim.timing import TimingModel
 
 
@@ -145,3 +150,108 @@ class TestExecutor:
                         blocked=plan.event.flows)
         with pytest.raises(PlanningError):
             PlanExecutor().execute(net, bad, 0.0)
+
+
+def state_fingerprint(net):
+    """Everything the planner can observe: flows, paths, residuals, and
+    the version counters the probe cache keys freshness on."""
+    return {
+        "flows": {fid: net.placement(fid).path for fid in net.flow_ids()},
+        "used": {link: net.used(*link) for link in net.links()},
+        "versions": {link: net.link_version(*link) for link in net.links()},
+    }
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+
+
+class TestUnreliableExecution:
+    def test_reliable_control_plane_takes_fast_path(self, planned):
+        net, plan = planned
+        from repro.sim.controlplane import ReliableControlPlane
+        record = PlanExecutor(control_plane=ReliableControlPlane()) \
+            .execute(net, plan, 0.0)
+        assert record.attempts == 1 and record.retry_time == 0.0
+
+    def test_rollback_leaves_state_bit_identical(self, planned):
+        net, plan = planned
+        before = state_fingerprint(net)
+        cp = ScriptedControlPlane([False, False, False])  # every attempt
+        executor = PlanExecutor(control_plane=cp,
+                                retry=RetryPolicy(max_retries=2))
+        with pytest.raises(ControlPlaneError) as exc:
+            executor.execute(net, plan, start_time=0.0)
+        assert exc.value.attempts == 3
+        assert exc.value.elapsed > 0.0
+        assert state_fingerprint(net) == before
+        net.check_invariants()
+
+    def test_mid_plan_install_failure_rolls_back_migrations(self, planned):
+        net, plan = planned
+        assert plan.migrations, "fixture must exercise the migration path"
+        before = state_fingerprint(net)
+        # First attempt: migrations succeed, the install fails — exactly
+        # the partial application the rollback must undo.
+        script = [True] * len(plan.migrations) + [False]
+        executor = PlanExecutor(control_plane=ScriptedControlPlane(script),
+                                retry=RetryPolicy(max_retries=0))
+        with pytest.raises(ControlPlaneError):
+            executor.execute(net, plan, 0.0)
+        assert state_fingerprint(net) == before
+
+    def test_retry_succeeds_and_charges_backoff(self, planned):
+        net, plan = planned
+        timing = TimingModel(rule_install_s=0.5, migration_rule_s=0.25,
+                             drain_s_per_mbps=0.1)
+        base = (sum(0.25 + 0.1 * m.migrated_traffic
+                    for m in plan.migrations) + 0.5)
+        cp = ScriptedControlPlane([False], jitter_s=0.01)
+        executor = PlanExecutor(
+            timing, control_plane=cp,
+            retry=RetryPolicy(max_retries=2, backoff_s=0.1))
+        record = executor.execute(net, plan, start_time=10.0)
+        assert record.attempts == 2
+        # Two full attempt windows + both jitters + the first backoff.
+        assert record.finish_setup_time == pytest.approx(
+            10.0 + 2 * (base + 0.01) + 0.1)
+        assert record.retry_time == pytest.approx(base + 2 * 0.01 + 0.1)
+        for fp in plan.flow_plans:
+            assert net.has_flow(fp.flow.flow_id)
+        net.check_invariants()
+
+    def test_deadline_aborts_before_retries_exhausted(self, planned):
+        net, plan = planned
+        cp = ScriptedControlPlane([False] * 50)
+        executor = PlanExecutor(
+            control_plane=cp,
+            retry=RetryPolicy(max_retries=10, backoff_s=0.5,
+                              deadline_s=1.0))
+        with pytest.raises(ControlPlaneError, match="deadline") as exc:
+            executor.execute(net, plan, 0.0)
+        assert exc.value.attempts < 11
+
+    def test_placement_divergence_not_retried(self, planned):
+        net, plan = planned
+        path = plan.flow_plans[0].path
+        thief_demand = max(net.path_residual(path) - 5.0, 1.0)
+        net.place(Flow(flow_id="thief", src="a", dst="b",
+                       demand=thief_demand), path)
+        before = state_fingerprint(net)
+        cp = ScriptedControlPlane([True] * 50)
+        executor = PlanExecutor(control_plane=cp,
+                                retry=RetryPolicy(max_retries=5))
+        with pytest.raises(InsufficientBandwidthError):
+            executor.execute(net, plan, 0.0)
+        # One attempt only: the same state would reject the same plan.
+        assert cp.consumed <= len(plan.migrations) + len(plan.flow_plans)
+        assert state_fingerprint(net) == before
+        net.check_invariants()

@@ -74,7 +74,7 @@ class TestHeal:
         record = injector.fail_link("s1", "top")
         injector.heal(record)
         assert net.capacity("s1", "top") == 100.0
-        assert injector.active_failures == []
+        assert injector.active_failures == ()
 
     def test_heal_unknown_rejected(self, setup):
         net, __ = setup
@@ -90,8 +90,60 @@ class TestHeal:
         injector.fail_link("s1", "top")
         injector.fail_link("s2", "b")
         injector.heal_all()
-        assert injector.active_failures == []
+        assert injector.active_failures == ()
         assert net.capacity("s2", "b") == 100.0
+
+
+class TestOverlappingFailures:
+    """Regression: failing a switch then one of its links used to save the
+    already-zeroed capacity as the "original", so out-of-order heals
+    restored 0.0 permanently."""
+
+    def test_out_of_order_heal_restores_original(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        switch = injector.fail_switch("top")   # zeroes s1<->top, top<->s2
+        link = injector.fail_link("s1", "top")  # overlaps a zeroed link
+        injector.heal(switch)
+        # The link failure still covers s1<->top; the rest of the switch's
+        # links come back.
+        assert net.capacity("s1", "top") == 0.0
+        assert net.capacity("top", "s2") == 100.0
+        injector.heal(link)
+        assert net.capacity("s1", "top") == 100.0
+        assert injector.active_failures == ()
+        net.check_invariants()
+
+    def test_in_order_heal_restores_original(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        switch = injector.fail_switch("top")
+        link = injector.fail_link("s1", "top")
+        injector.heal(link)
+        assert net.capacity("s1", "top") == 0.0  # switch still covers it
+        injector.heal(switch)
+        assert net.capacity("s1", "top") == 100.0
+
+    def test_field_equal_records_are_distinct(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        first = injector.fail_link("s1", "bot")
+        second = injector.fail_link("s1", "bot")
+        assert len(injector.active_failures) == 2
+        assert injector.is_active(first) and injector.is_active(second)
+        injector.heal(first)
+        assert not injector.is_active(first)
+        assert injector.is_active(second)
+        assert net.capacity("s1", "bot") == 0.0  # second still holds it
+        injector.heal(second)
+        assert net.capacity("s1", "bot") == 100.0
+
+    def test_active_failures_snapshot_immutable(self, setup):
+        net, __ = setup
+        injector = FailureInjector(net)
+        injector.fail_link("s1", "bot")
+        snapshot = injector.active_failures
+        assert isinstance(snapshot, tuple)
 
 
 class TestRepairEvent:

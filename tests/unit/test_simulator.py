@@ -274,6 +274,128 @@ class TestSetupBarrier:
         assert sim.network.flow_count() == 0
 
 
+class TestFaultPipeline:
+    """Mid-run failures: strand → repair event → requeue (or drop)."""
+
+    def both_middle_down(self, at, heal_at=None):
+        from repro.sim.faults import FaultSchedule, SwitchFault
+        return FaultSchedule([SwitchFault(switch="top", at=at,
+                                          heal_at=heal_at),
+                              SwitchFault(switch="bot", at=at,
+                                          heal_at=heal_at)])
+
+    def faulted_simulator(self, faults, config, listener=None,
+                          control_plane=None):
+        net, provider = diamond_setup()
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              timing=TimingModel(), config=config,
+                              listener=listener, control_plane=control_plane,
+                              faults=faults)
+        sim.submit([make_event([ab_flow("f1", 10.0, duration=5.0)],
+                               label="original", event_id="E0")])
+        return sim
+
+    def test_strand_repair_requeue_complete(self):
+        from repro.sim.tracelog import TraceLog
+        log = TraceLog()
+        config = SimulationConfig(verify_invariants=True,
+                                  max_deferrals=5,
+                                  repair_flow_duration=3.0)
+        sim = self.faulted_simulator(self.both_middle_down(2.0, heal_at=6.0),
+                                     config, listener=log)
+        metrics = sim.run()
+        # Both the original event and the auto-generated repair completed.
+        assert metrics.event_count == 2
+        assert metrics.faults_injected == 2
+        assert metrics.faults_healed == 2
+        assert metrics.dropped_events == 0
+        assert metrics.stranded_traffic == 0.0
+        assert sim.network.flow_count() == 0
+        kinds = {r.kind for r in log.records}
+        assert {"fault", "heal"} <= kinds
+        # The repair could not start until the heal restored capacity.
+        (fault_with_strand,) = [r for r in log.of_kind("fault")
+                                if r.data["stranded_flows"]]
+        assert fault_with_strand.data["stranded_demand"] == 10.0
+
+    def test_partition_drops_repair_with_accounting(self):
+        from repro.sim.tracelog import TraceLog
+        log = TraceLog()
+        config = SimulationConfig(verify_invariants=True, max_deferrals=2,
+                                  repair_flow_duration=3.0)
+        sim = self.faulted_simulator(self.both_middle_down(2.0), config,
+                                     listener=log)
+        metrics = sim.run()  # must not raise despite the dead repair
+        assert metrics.event_count == 1  # only the original completed
+        assert metrics.dropped_events == 1
+        assert metrics.stranded_traffic == pytest.approx(10.0)
+        assert metrics.deferrals == 3  # max_deferrals + the dropping pass
+        assert log.of_kind("drop")
+        assert len(log.of_kind("deferral")) == 3
+
+    def test_partition_without_deferral_budget_keeps_legacy_error(self):
+        config = SimulationConfig(verify_invariants=True)  # max_deferrals=None
+        sim = self.faulted_simulator(self.both_middle_down(2.0), config)
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+    def test_exec_failure_rolls_back_and_requeues(self):
+        from repro.sim.controlplane import ScriptedControlPlane
+        from repro.sim.tracelog import TraceLog
+        log = TraceLog()
+        config = SimulationConfig(verify_invariants=True,
+                                  exec_max_retries=0, max_deferrals=5)
+        net, provider = diamond_setup()
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              config=config, listener=log,
+                              control_plane=ScriptedControlPlane([False]),
+                              faults=None)
+        sim.submit(simple_events(1))
+        metrics = sim.run()
+        assert metrics.event_count == 1
+        assert metrics.deferrals == 1
+        assert metrics.dropped_events == 0
+        # Round 1 admitted nothing (execution failed and rolled back); a
+        # later round re-planned and completed the event.
+        assert sim.rounds[0].admitted_events == ()
+        assert any(r.admitted_events for r in sim.rounds[1:])
+        assert log.of_kind("exec_failure")
+        assert sim.network.flow_count() == 0
+
+    def test_zero_fault_wiring_is_byte_identical(self):
+        from repro.sim.controlplane import ReliableControlPlane
+        from repro.sim.faults import FaultSchedule
+        events = simple_events()
+        net1, provider1 = diamond_setup()
+        plain = UpdateSimulator(net1, provider1, FIFOScheduler(),
+                                config=SimulationConfig())
+        plain.submit(events)
+        net2, provider2 = diamond_setup()
+        wired = UpdateSimulator(net2, provider2, FIFOScheduler(),
+                                config=SimulationConfig(),
+                                control_plane=ReliableControlPlane(),
+                                faults=FaultSchedule([]))
+        wired.submit(events)
+        assert plain.run() == wired.run()
+
+    def test_fault_schedule_validated_at_run_start(self):
+        from repro.core.exceptions import TopologyError
+        from repro.sim.faults import FaultSchedule, LinkFault
+        net, provider = diamond_setup()
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              faults=FaultSchedule([
+                                  LinkFault(u="s1", v="mars", at=1.0)]))
+        sim.submit(simple_events(1))
+        with pytest.raises(TopologyError, match="missing link"):
+            sim.run()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_deferrals"):
+            SimulationConfig(max_deferrals=-1)
+        with pytest.raises(ValueError, match="repair_flow_duration"):
+            SimulationConfig(repair_flow_duration=0.0)
+
+
 class TestChurn:
     def test_background_churns_and_completes(self):
         net, provider = diamond_setup()
