@@ -129,13 +129,24 @@ class PlanExecutor:
             model) takes the historical infallible path.
         retry: retry/backoff/deadline policy used when ``control_plane``
             is unreliable.
+        hooks: optional :class:`~repro.sim.hooks.HookBus`; when given, the
+            executor announces burned retries as
+            :class:`~repro.sim.hooks.ExecutionRetried` instead of the
+            caller scraping ``attempts`` off records and exceptions. The
+            hook fires once per execute with the *failed* attempt count —
+            both on eventual success and right before a
+            :class:`~repro.core.exceptions.ControlPlaneError` — matching
+            the historical accounting exactly (a propagating
+            ``PlacementError`` reports nothing, as before).
     """
 
     def __init__(self, timing: TimingModel | None = None,
-                 control_plane=None, retry: RetryPolicy | None = None):
+                 control_plane=None, retry: RetryPolicy | None = None,
+                 hooks=None):
         self._timing = timing or TimingModel()
         self._control_plane = control_plane
         self._retry = retry or RetryPolicy()
+        self._hooks = hooks
 
     @property
     def timing(self) -> TimingModel:
@@ -190,6 +201,7 @@ class PlanExecutor:
             # full issue-and-wait window; charge it like a successful one.
             elapsed += base_time + jitter
             if rerouted is not None:
+                self._note_retries(plan, attempts)
                 return ExecutionRecord(
                     plan=plan,
                     start_time=start_time,
@@ -204,17 +216,26 @@ class PlanExecutor:
             backoff = (self._retry.backoff_s
                        * self._retry.backoff_factor ** (attempts - 1))
             if retries_left <= 0:
+                self._note_retries(plan, attempts)
                 raise ControlPlaneError(
                     f"event {plan.event.event_id}: all {attempts} "
                     f"execution attempts failed on the control plane",
                     attempts=attempts, elapsed=elapsed)
             if elapsed + backoff > self._retry.deadline_s:
+                self._note_retries(plan, attempts)
                 raise ControlPlaneError(
                     f"event {plan.event.event_id}: execution deadline "
                     f"{self._retry.deadline_s:.3f}s exceeded after "
                     f"{attempts} attempt(s)",
                     attempts=attempts, elapsed=elapsed)
             elapsed += backoff
+
+    def _note_retries(self, plan: EventPlan, attempts: int) -> None:
+        """Announce the failed attempts of one execute on the hook bus."""
+        if attempts > 1 and self._hooks is not None:
+            from repro.sim.hooks import ExecutionRetried
+            self._hooks.emit(ExecutionRetried(
+                event_id=plan.event.event_id, retries=attempts - 1))
 
     def _attempt(self, state: NetworkState, plan: EventPlan,
                  cp) -> list[str] | None:

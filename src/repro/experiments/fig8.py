@@ -11,6 +11,7 @@ from repro.analysis.normalize import percent_reduction
 from repro.experiments.common import DEFAULTS, Scenario
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import GridRow, run_scheduler_grid
+from repro.sched import standard_scheduler_specs
 from repro.traces.events import heterogeneous_config
 
 EVENT_COUNTS = (10, 20, 30, 40, 50)
@@ -35,11 +36,7 @@ def run(seed: int = 0, utilization: float = 0.7, alpha: int | None = None,
                                   seed=seed + count, events=count,
                                   churn=True,
                                   event_config=heterogeneous_config()),
-                schedulers=(
-                    {"kind": "fifo"},
-                    {"kind": "lmtf", "alpha": alpha, "seed": seed + 9},
-                    {"kind": "plmtf", "alpha": alpha, "seed": seed + 9},
-                ))
+                schedulers=standard_scheduler_specs(seed, alpha=alpha))
         for count in event_counts
     ]
     grid = run_scheduler_grid(rows, jobs=jobs, checkpoint=checkpoint,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.experiments.common import DEFAULTS, Scenario
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import GridRow, run_scheduler_grid
+from repro.sched import standard_scheduler_specs
 from repro.traces.events import heterogeneous_config
 
 
@@ -22,11 +23,8 @@ def run(seed: int = 0, events: int = 30, utilization: float = 0.7,
     scenario = Scenario(utilization=utilization, seed=seed, events=events,
                         churn=True, event_config=heterogeneous_config())
     grid = run_scheduler_grid([
-        GridRow(key="run", scenario=scenario, schedulers=(
-            {"kind": "fifo"},
-            {"kind": "lmtf", "alpha": alpha, "seed": seed + 9},
-            {"kind": "plmtf", "alpha": alpha, "seed": seed + 9},
-        )),
+        GridRow(key="run", scenario=scenario,
+                schedulers=standard_scheduler_specs(seed, alpha=alpha)),
     ], jobs=jobs, checkpoint=checkpoint, resume=resume, listener=listener)
     metrics = grid["run"]
     fifo, lmtf, plmtf = (metrics[n] for n in ("fifo", "lmtf", "plmtf"))

@@ -20,6 +20,7 @@ from repro.analysis.stats import reduction_summary
 from repro.experiments.common import DEFAULTS, Scenario
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import GridRow, run_scheduler_grid
+from repro.sched import standard_scheduler_specs
 from repro.traces.events import heterogeneous_config
 
 #: (metric attribute, human label) pairs reported per scheduler.
@@ -66,11 +67,7 @@ def fig6_with_spread(seed: int = 0, events: int = 30,
             scenario=Scenario(utilization=utilization, seed=tseed,
                               events=events, churn=True,
                               event_config=heterogeneous_config()),
-            schedulers=(
-                {"kind": "fifo"},
-                {"kind": "lmtf", "alpha": alpha, "seed": tseed + 9},
-                {"kind": "plmtf", "alpha": alpha, "seed": tseed + 9},
-            )))
+            schedulers=standard_scheduler_specs(tseed, alpha=alpha)))
     grid = run_scheduler_grid(rows, jobs=jobs, checkpoint=checkpoint,
                               resume=resume, listener=listener)
     runs: dict[str, list] = {"fifo": [], "lmtf": [], "plmtf": []}

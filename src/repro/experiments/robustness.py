@@ -22,7 +22,11 @@ from repro.experiments.runner import (
     run_scheduler_grid,
     use_runner,
 )
-from repro.sched import build_scheduler, scheduler_name
+from repro.sched import (
+    build_scheduler,
+    scheduler_name,
+    standard_scheduler_specs,
+)
 from repro.network.routing.provider import PathProvider
 from repro.network.topology.base import Topology
 from repro.network.topology.jellyfish import JellyfishTopology
@@ -147,11 +151,7 @@ def _topology_grid(seed: int, events: int, utilization: float, jobs,
                    checkpoint, resume, listener) -> dict:
     """Fan the (topology, scheduler) grid out through the cell runner."""
     from repro.sim.metrics import RunMetrics
-    schedulers = (
-        {"kind": "fifo"},
-        {"kind": "lmtf", "alpha": 4, "seed": seed + 9},
-        {"kind": "plmtf", "alpha": 4, "seed": seed + 9},
-    )
+    schedulers = standard_scheduler_specs(seed)
     cells = []
     labels = []
     for name in TOPOLOGY_BUILDERS:
@@ -227,11 +227,7 @@ def failure_sweep(seed: int = 0, events: int = 20,
     interruption/resume.
     """
     from repro.sim.metrics import RunMetrics
-    schedulers = (
-        {"kind": "fifo"},
-        {"kind": "lmtf", "alpha": 4, "seed": seed + 9},
-        {"kind": "plmtf", "alpha": 4, "seed": seed + 9},
-    )
+    schedulers = standard_scheduler_specs(seed)
     cells = []
     labels = []
     for rate in fault_rates:

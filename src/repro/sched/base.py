@@ -23,6 +23,7 @@ from repro.core.flow import Flow
 from repro.core.plan import EventPlan
 from repro.core.planner import EventPlanner
 from repro.network.state import NetworkState
+from repro.sim.lifecycle import TransitionRecord
 
 
 @dataclass
@@ -86,6 +87,10 @@ class RoundDecision:
     the scheduler itself, not of the modeled controller, and keeps cached
     and uncached runs bit-identical. The ``cache_*`` counters report how
     many of the round's cost probes hit, missed, or were invalidated.
+
+    ``transitions`` is filled by the round pipeline, not by schedulers: it
+    records the PROBED→ADMITTED lifecycle moves this decision caused (one
+    per admission), timestamped at decision time.
     """
 
     admissions: list[Admission] = field(default_factory=list)
@@ -93,6 +98,7 @@ class RoundDecision:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    transitions: list[TransitionRecord] = field(default_factory=list)
 
     @property
     def empty(self) -> bool:
@@ -136,8 +142,8 @@ class Scheduler(abc.ABC):
                          state: NetworkState | None = None) -> EventPlan:
         """Plan all remaining flows of ``queued`` without committing."""
         target = state if state is not None else ctx.network
-        return ctx.planner.plan_event(target, queued.subevent(queued.remaining),
-                                      ctx.rng, commit=False)
+        return ctx.planner.plan_event(
+            target, queued.subevent(queued.remaining), ctx.rng, commit=False)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,134 @@
+"""Background-churn plugin: finite background flows finish and respawn.
+
+Extracted from the simulator monolith into a hook-bus plugin: the driver
+subscribes to :class:`~repro.sim.hooks.RunStarted`, schedules an engine
+finish for every finite-duration background flow the network was loaded
+with, and — when respawn is enabled — replaces completed flows with fresh
+trace flows so utilization stays roughly level (paper §IV-A's changing
+network state). The simulator core never references churn; it only emits
+``RunStarted`` and exposes the :class:`~repro.sim.hooks.SimulatorPort`
+surface the driver programs against.
+
+Determinism contract: the driver draws path tiebreaks from its own
+``random.Random(config.seed + 1)`` (built by the simulator), and its
+engine scheduling order is identical to the old monolith's — initial
+finishes in network flow-id order at run start, respawn finishes at
+placement time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import TYPE_CHECKING
+
+from repro.core.exceptions import InsufficientBandwidthError, SimulationError
+from repro.core.flow import Flow, FlowKind
+from repro.sim.hooks import ChurnTick, RunStarted, SimulatorPort
+from repro.traces.background import BackgroundLoader
+
+if TYPE_CHECKING:
+    from repro.network.network import Network
+    from repro.network.routing.provider import PathProvider
+    from repro.traces.base import TraceGenerator
+
+
+class ChurnDriver:
+    """Schedules background-flow completions and respawns over a run.
+
+    Args:
+        network: the live network (the same object the simulator runs on).
+        provider: candidate-path lookup for respawned-flow placement.
+        trace: generator for replacement flows; ``None`` disables respawn
+            (flows then finish without replacement).
+        rng: path-tiebreak randomness for respawn placement (independent
+            of the trace's own RNG).
+    """
+
+    #: Deficit repayments attempted per churn tick; bounds the work one
+    #: engine event can do when the network has been too hot to respawn.
+    MAX_SPAWNS_PER_TICK = 8
+
+    def __init__(self, network: Network, provider: PathProvider,
+                 trace: TraceGenerator | None, rng: random.Random):
+        self._trace = trace
+        self._loader = (BackgroundLoader(network, provider, trace, rng)
+                        if trace is not None else None)
+        self._deficit = 0
+        self._sim: SimulatorPort | None = None
+
+    def attach(self, sim: SimulatorPort) -> None:
+        """Subscribe to the simulator's hook bus (called by the simulator)."""
+        self._sim = sim
+        sim.hooks.subscribe(RunStarted, self._on_run_started)
+
+    @property
+    def deficit(self) -> int:
+        """Respawns owed but not yet placed (the network was too hot)."""
+        return self._deficit
+
+    # ------------------------------------------------------------ internals
+
+    def _require_sim(self) -> SimulatorPort:
+        if self._sim is None:
+            raise SimulationError("ChurnDriver used before attach()")
+        return self._sim
+
+    def _on_run_started(self, hook: RunStarted) -> None:
+        sim = hook.sim
+        if not sim.config.background_churn:
+            return
+        network = sim.network
+        for flow_id in list(network.flow_ids()):
+            flow = network.placement(flow_id).flow
+            if (flow.kind is FlowKind.BACKGROUND
+                    and not math.isinf(flow.service_time)):
+                self._schedule_finish(sim, flow)
+
+    def _schedule_finish(self, sim: SimulatorPort, flow: Flow) -> None:
+        sim.engine.schedule_callback(
+            sim.now + flow.service_time,
+            lambda f=flow: self._on_background_finish(f),
+            tag=f"churn:{flow.flow_id}")
+
+    def _on_background_finish(self, flow: Flow) -> None:
+        sim = self._require_sim()
+        if sim.network.has_flow(flow.flow_id):
+            sim.network.remove(flow.flow_id)
+        # Churn exists to perturb queued events' costs; once every event
+        # has completed, respawning would only keep the engine alive
+        # forever.
+        before = self._deficit
+        if (sim.events_remaining > 0
+                and sim.config.churn_respawn
+                and self._trace is not None):
+            self._respawn_background(sim)
+        sim.hooks.emit(ChurnTick(
+            now=sim.now, flow_id=flow.flow_id,
+            respawned=max(0, before + 1 - self._deficit)))
+        sim.maybe_round()
+
+    def _respawn_background(self, sim: SimulatorPort) -> None:
+        """Replace a completed background flow, keeping utilization level.
+
+        When the network is momentarily too hot to place a replacement, the
+        shortfall is remembered (``deficit``) and repaid at later churn
+        ticks, so long runs do not silently decay below the loaded
+        utilization target.
+        """
+        assert self._trace is not None and self._loader is not None
+        self._deficit += 1
+        spawned = 0
+        while self._deficit > 0 and spawned < self.MAX_SPAWNS_PER_TICK:
+            replacement = self._trace.sample_flow(
+                kind=FlowKind.BACKGROUND, permanent=False)
+            path = self._loader.best_path(replacement)
+            if path is None:
+                break
+            try:
+                sim.network.place(replacement, path)
+            except InsufficientBandwidthError:
+                break  # rule-limited networks can refuse; repay later
+            self._schedule_finish(sim, replacement)
+            self._deficit -= 1
+            spawned += 1

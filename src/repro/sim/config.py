@@ -1,0 +1,88 @@
+"""Run-level simulator configuration (extracted from the old monolith).
+
+Kept in its own module so the hook bus, the round pipeline, and plugins can
+all name :class:`SimulationConfig` without importing the simulator itself.
+``repro.sim.simulator`` re-exports it, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-level simulator knobs.
+
+    Attributes:
+        seed: seed for the planner RNG (path tiebreaks). Scheduler sampling
+            uses the scheduler's own seed.
+        verify_invariants: re-derive and assert network bookkeeping after
+            every round (slow; the test suite turns it on).
+        stall_fallback: when the scheduler admits nothing, nothing is
+            running, and no future engine event can change the state, scan
+            the queue in arrival order and admit the first feasible event
+            instead of deadlocking. A strict-FIFO purist can turn this off
+            and accept :class:`~repro.core.exceptions.SimulationError` on
+            pathological workloads.
+        max_rounds: safety valve on scheduling rounds.
+        background_churn: when True, finite-duration background flows
+            complete over simulated time and (optionally) respawn, so the
+            network state — and therefore queued events' costs — keeps
+            changing, as §IV-A of the paper describes.
+        churn_respawn: replace each completed background flow with a fresh
+            trace flow to hold utilization roughly constant.
+        round_barrier: when the next scheduling round may start.
+            ``completion`` (default, matching the paper's Fig. 3 arithmetic
+            and its "an update event cannot finish until such flows have
+            been completed") waits for every admitted flow to finish
+            transmitting; an event's ECT then includes its flows'
+            transmissions. ``setup`` starts the next round as soon as the
+            admitted updates are installed (plan + migration drain +
+            install) — the pipelined reading in which ECT measures only the
+            update application; admitted flows keep transmitting across
+            subsequent rounds and contend with later events. Used by the
+            model-sensitivity ablation.
+        exec_max_retries: execution attempts after the first failure on an
+            unreliable control plane (ignored on the reliable default).
+        exec_backoff_s: backoff before the first execution retry; doubles
+            per retry.
+        exec_deadline_s: per-plan budget of simulated execution seconds;
+            ``inf`` disables the deadline.
+        max_deferrals: requeue budget per event. An admitted event whose
+            execution fails is requeued (deferred); an event that can
+            never be placed while the run is otherwise stalled is likewise
+            deferred instead of deadlocking. Past this many deferrals the
+            event is *dropped* with accounting (``RunMetrics.
+            dropped_events`` / ``stranded_traffic``). ``None`` (default)
+            keeps the legacy strictness: execution failures still requeue,
+            but nothing is ever dropped and a permanent stall raises
+            :class:`~repro.core.exceptions.SimulationError` as before.
+        repair_flow_duration: transmission duration given to the
+            replacement flows of auto-generated repair events (stranded
+            permanent background flows have none of their own).
+    """
+
+    seed: int = 0
+    verify_invariants: bool = False
+    stall_fallback: bool = True
+    max_rounds: int = 1_000_000
+    background_churn: bool = False
+    churn_respawn: bool = True
+    round_barrier: str = "completion"
+    exec_max_retries: int = 2
+    exec_backoff_s: float = 0.05
+    exec_deadline_s: float = math.inf
+    max_deferrals: int | None = None
+    repair_flow_duration: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.round_barrier not in ("completion", "setup"):
+            raise ValueError(f"unknown round_barrier "
+                             f"{self.round_barrier!r}; pick 'completion' "
+                             f"or 'setup'")
+        if self.max_deferrals is not None and self.max_deferrals < 0:
+            raise ValueError("max_deferrals must be >= 0 or None")
+        if self.repair_flow_duration <= 0:
+            raise ValueError("repair_flow_duration must be positive")

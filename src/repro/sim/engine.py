@@ -35,6 +35,28 @@ class _ScheduledEvent:
     cancelled: bool = field(default=False, compare=False)
 
 
+class TaggedCallback:
+    """Callable wrapper giving scheduled work a diagnosable repr.
+
+    Bare lambdas and bound methods render as ``<function <lambda> at 0x…>``
+    in stall/deadlock diagnostics; tagging every scheduled callback (e.g.
+    ``arrival:U3``, ``flow-finish:U3/f1``, ``heal:link s0<->s1``) makes the
+    pending-event listing readable.
+    """
+
+    __slots__ = ("fn", "tag")
+
+    def __init__(self, fn: Callable[[], None], tag: str):
+        self.fn = fn
+        self.tag = tag
+
+    def __call__(self) -> None:
+        self.fn()
+
+    def __repr__(self) -> str:
+        return f"<callback {self.tag}>"
+
+
 class EventHandle:
     """Opaque handle returned by :meth:`SimulationEngine.schedule`."""
 
@@ -106,6 +128,28 @@ class SimulationEngine:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.schedule_at(self._now + delay, callback)
+
+    def schedule_callback(self, when: float, fn: Callable[[], None],
+                          tag: str) -> EventHandle:
+        """Schedule ``fn`` at ``when``, wrapped with a diagnosable ``tag``.
+
+        Identical scheduling semantics to :meth:`schedule_at` (same clock
+        check, same FIFO sequence numbering); the only difference is that
+        the pending entry reprs as ``<callback tag>`` and surfaces in
+        :meth:`pending_tags`.
+        """
+        return self.schedule_at(when, TaggedCallback(fn, tag))
+
+    def pending_tags(self) -> list[str]:
+        """Tags of live pending callbacks in ``(time, seq)`` pop order.
+
+        Untagged callbacks report as ``?<typename>``. Intended for stall
+        and deadlock diagnostics, not for control flow.
+        """
+        live = sorted((e.time, e.seq, e.callback) for e in self._heap
+                      if not e.cancelled)
+        return [cb.tag if isinstance(cb, TaggedCallback)
+                else f"?{type(cb).__name__}" for _, _, cb in live]
 
     def step(self) -> bool:
         """Execute the earliest pending event; False when none remain."""

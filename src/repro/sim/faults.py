@@ -3,11 +3,14 @@
 The paper's §I names network failures as a first-class source of update
 events, but :mod:`repro.network.failures` only supports *static* injection
 before a run starts. This module schedules failures (and recoveries) at
-simulated times *during* a run: the simulator turns each
-:class:`LinkFault`/:class:`SwitchFault` into an engine callback that fires
-the :class:`~repro.network.failures.FailureInjector`, packages the stranded
-flows into a repair event (:func:`~repro.network.failures.repair_event`),
-and enqueues the repair at the failure's simulated time.
+simulated times *during* a run: :class:`FaultDriver` — a hook-bus plugin —
+turns each :class:`LinkFault`/:class:`SwitchFault` into an engine callback
+that fires the :class:`~repro.network.failures.FailureInjector`, packages
+the stranded flows into a repair event
+(:func:`~repro.network.failures.repair_event`), and enqueues the repair at
+the failure's simulated time. The simulator core never imports this
+module; fault sources attach themselves via
+``UpdateSimulator(..., faults=source)`` → ``source.attach(sim)``.
 
 Two sources of fault timelines:
 
@@ -28,6 +31,13 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Union
 
 from repro.core.exceptions import SimulationError, TopologyError
+from repro.network.failures import FailureInjector, FailureRecord, repair_event
+from repro.sim.hooks import (
+    FaultHealed,
+    FaultInjected,
+    RunStarted,
+    SimulatorPort,
+)
 
 
 @dataclass(frozen=True)
@@ -124,6 +134,12 @@ class FaultSchedule:
                     f"fault schedule names missing switch {spec.switch!r}")
         return self
 
+    def attach(self, sim: SimulatorPort) -> "FaultDriver":
+        """Wire this timeline into a simulator run (hook-bus plugin)."""
+        driver = FaultDriver(self)
+        driver.attach(sim)
+        return driver
+
 
 class FaultProcess:
     """Seeded stochastic link-failure process over a time horizon.
@@ -192,9 +208,93 @@ class FaultProcess:
             t += rng.expovariate(self.rate)
         return FaultSchedule(specs).materialize(network)
 
+    def attach(self, sim: SimulatorPort) -> "FaultDriver":
+        """Wire this process into a simulator run (hook-bus plugin)."""
+        driver = FaultDriver(self)
+        driver.attach(sim)
+        return driver
+
     def __repr__(self) -> str:
         return (f"FaultProcess(rate={self.rate}, horizon={self.horizon}, "
                 f"seed={self.seed})")
+
+
+class FaultDriver:
+    """Hook-bus plugin delivering a fault source's timeline into a run.
+
+    On :class:`~repro.sim.hooks.RunStarted` the driver materializes its
+    source against the live network (validating every spec at run start —
+    a schedule naming a missing link fails before any event executes),
+    builds a :class:`~repro.network.failures.FailureInjector`, and
+    schedules one engine callback per fault. Each fault callback injects
+    the failure, announces it as :class:`~repro.sim.hooks.FaultInjected`,
+    enqueues a repair event for any stranded traffic, schedules the heal,
+    and kicks a round check — exactly the order the pre-refactor monolith
+    used, so engine sequence numbers (and therefore results) are
+    byte-identical.
+    """
+
+    def __init__(self, source: "FaultSchedule | FaultProcess"):
+        self._source = source
+        self._sim: SimulatorPort | None = None
+        self._injector: FailureInjector | None = None
+
+    def attach(self, sim: SimulatorPort) -> None:
+        """Subscribe to the simulator's hook bus (called by the source)."""
+        self._sim = sim
+        sim.hooks.subscribe(RunStarted, self._on_run_started)
+
+    # ------------------------------------------------------------ internals
+
+    def _on_run_started(self, hook: RunStarted) -> None:
+        sim = hook.sim
+        self._injector = FailureInjector(sim.network)
+        for spec in self._source.materialize(sim.network):
+            sim.engine.schedule_callback(
+                spec.at, lambda s=spec: self._on_fault(s),
+                tag=f"fault:{spec.description}")
+
+    def _on_fault(self, spec: FaultSpec) -> None:
+        sim = self._sim
+        assert sim is not None and self._injector is not None
+        if isinstance(spec, LinkFault):
+            record = self._injector.fail_link(
+                spec.u, spec.v, both_directions=spec.both_directions)
+        else:
+            record = self._injector.fail_switch(spec.switch)
+        sim.hooks.emit(FaultInjected(
+            now=sim.now, description=record.description,
+            stranded_flows=len(record.stranded),
+            stranded_demand=record.stranded_demand))
+        if record.stranded:
+            # Stranded flows (background traffic or mid-transmission
+            # update flows) become a repair event competing in the
+            # ordinary update queue, per the paper's framing of failure
+            # recovery as just another update-event source. Permanent
+            # background flows carry no finite duration of their own,
+            # so replacements always get the configured one.
+            repair = repair_event(
+                record, arrival_time=sim.now,
+                duration=sim.config.repair_flow_duration)
+            sim.enqueue(repair, origin="repair")
+        if spec.heal_at is not None:
+            sim.engine.schedule_callback(
+                spec.heal_at, lambda r=record: self._on_heal(r),
+                tag=f"heal:{spec.description}")
+        # Re-check the queue: capacity loss cannot unblock anything,
+        # but if this fault was the last pending engine event the run
+        # must fall through to stall handling instead of draining with
+        # events still queued.
+        sim.schedule_round()
+
+    def _on_heal(self, record: FailureRecord) -> None:
+        sim = self._sim
+        assert sim is not None and self._injector is not None
+        self._injector.heal(record)
+        sim.hooks.emit(FaultHealed(now=sim.now,
+                                   description=record.description))
+        # Restored capacity may make queued events feasible again.
+        sim.schedule_round()
 
 
 def build_fault_source(spec: dict | None):

@@ -14,7 +14,9 @@ them are exactly what the paper plots:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.sim import hooks as _hooks
 
 
 @dataclass
@@ -314,3 +316,61 @@ class MetricsCollector:
             faults_injected=self._faults_injected,
             faults_healed=self._faults_healed,
         )
+
+
+class MetricsSubscriber:
+    """Feeds a :class:`MetricsCollector` from hook-bus emissions.
+
+    The simulator subscribes this adapter *before* the trace-log adapter,
+    which preserves the pre-refactor call order (metrics first, listener
+    second) for every shared hook type.
+    """
+
+    def __init__(self, collector: MetricsCollector, bus: "_hooks.HookBus"):
+        self._collector = collector
+        bus.subscribe(_hooks.EventArrived, self._on_arrived)
+        bus.subscribe(_hooks.PreRound, self._on_pre_round)
+        bus.subscribe(_hooks.PostRound, self._on_post_round)
+        bus.subscribe(_hooks.EventAdmitted, self._on_admitted)
+        bus.subscribe(_hooks.EventCompleted, self._on_completed)
+        bus.subscribe(_hooks.ExecutionRetried, self._on_retried)
+        bus.subscribe(_hooks.EventDeferred, self._on_deferred)
+        bus.subscribe(_hooks.EventDropped, self._on_dropped)
+        bus.subscribe(_hooks.FaultInjected, self._on_fault)
+        bus.subscribe(_hooks.FaultHealed, self._on_heal)
+
+    def _on_arrived(self, hook: "_hooks.EventArrived") -> None:
+        self._collector.on_enqueue(hook.event_id, hook.now, hook.flow_count)
+
+    def _on_pre_round(self, hook: "_hooks.PreRound") -> None:
+        self._collector.on_round(hook.plan_time, hook.cache_hits,
+                                 hook.cache_misses, hook.cache_invalidations)
+
+    def _on_post_round(self, hook: "_hooks.PostRound") -> None:
+        for event_id in hook.waiting:
+            self._collector.on_wait(event_id)
+
+    def _on_admitted(self, hook: "_hooks.EventAdmitted") -> None:
+        self._collector.on_exec_start(hook.event_id, hook.exec_start)
+        self._collector.on_admission(hook.event_id, hook.cost,
+                                     hook.migrations)
+        self._collector.on_setup_done(hook.event_id, hook.setup_done_time)
+
+    def _on_completed(self, hook: "_hooks.EventCompleted") -> None:
+        self._collector.on_completion(hook.event_id, hook.now)
+
+    def _on_retried(self, hook: "_hooks.ExecutionRetried") -> None:
+        self._collector.on_retries(hook.retries)
+
+    def _on_deferred(self, hook: "_hooks.EventDeferred") -> None:
+        self._collector.on_deferral(hook.event_id)
+
+    def _on_dropped(self, hook: "_hooks.EventDropped") -> None:
+        self._collector.on_drop(hook.event_id, hook.now,
+                                hook.stranded_demand)
+
+    def _on_fault(self, hook: "_hooks.FaultInjected") -> None:
+        self._collector.on_fault()
+
+    def _on_heal(self, hook: "_hooks.FaultHealed") -> None:
+        self._collector.on_heal()

@@ -1,0 +1,535 @@
+"""The staged round pipeline the simulator drives (paper §III / Fig. 3).
+
+One scheduling round runs through six ordered stages::
+
+    collect ──► schedule ──► admit ──► execute ──► settle ──► account
+    snapshot    consult       assert     apply       queue      verify
+    the queue   scheduler,    lifecycle  plans,      waits,     network
+    into a      fall back     moves,     schedule    round      invariants
+    context     on stalls     announce   flow        log,
+                              the round  finishes    barrier
+
+The pipeline owns all round state (queue, round counters, deferral
+budgets, per-event outstanding-flow counts) and every event's position in
+the :class:`~repro.sim.lifecycle.EventLifecycle` state machine — each move
+is asserted legal and announced on the hook bus as a
+:class:`~repro.sim.hooks.StateTransition`. Cross-cutting concerns never
+appear here: metrics, trace logging, faults and churn all observe the
+round through :mod:`repro.sim.hooks` subscriptions.
+
+Behavior contract: the staged pipeline is byte-identical to the
+pre-refactor monolithic ``UpdateSimulator`` — same engine scheduling
+order (sequence numbers), same RNG draw order, same metrics, same trace
+records. The schedule-pin tests enforce this.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.exceptions import (
+    ControlPlaneError,
+    PlacementError,
+    SimulationError,
+)
+from repro.sched.base import (
+    Admission,
+    QueuedEvent,
+    RoundDecision,
+    Scheduler,
+    SchedulingContext,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.hooks import (
+    EventAdmitted,
+    EventArrived,
+    EventCompleted,
+    EventDeferred,
+    EventDropped,
+    ExecutionFailed,
+    FlowFinished,
+    HookBus,
+    PostRound,
+    PreRound,
+    StateTransition,
+)
+from repro.sim.lifecycle import EventLifecycle, EventState, TransitionRecord
+
+if TYPE_CHECKING:
+    from repro.core.event import UpdateEvent
+    from repro.core.executor import PlanExecutor
+    from repro.core.flow import Flow
+    from repro.core.planner import EventPlanner
+    from repro.network.network import Network
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.timing import TimingModel
+
+
+@dataclass
+class RoundLog:
+    """Diagnostic record of one scheduling round.
+
+    The ``cache_*`` fields mirror the scheduler's probe-cache counters for
+    the round (all zero for schedulers without a probe cache); benchmarks
+    use them to report per-round hit rates.
+    """
+
+    index: int
+    start_time: float
+    plan_time: float
+    admitted_events: tuple[str, ...]
+    planning_ops: int
+    total_cost: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+
+
+class RoundPipeline:
+    """Owns the round state machine; the simulator merely drives it.
+
+    Args:
+        engine: the discrete-event engine (clock + calendar queue).
+        scheduler: inter-event scheduling policy consulted each round.
+        planner: event planner used by the stall fallback.
+        timing: converts planning ops into simulated plan time.
+        executor: applies admitted plans (may retry / fail).
+        network: the live network state.
+        config: simulator knobs.
+        rng: the planner RNG (path tiebreaks) shared with the scheduler
+            context.
+        hooks: the bus every stage announces on.
+        lifecycle: the event-lifecycle registry asserting move legality.
+    """
+
+    def __init__(self, *, engine: SimulationEngine, scheduler: Scheduler,
+                 planner: EventPlanner, timing: TimingModel,
+                 executor: PlanExecutor, network: Network,
+                 config: SimulationConfig, rng: random.Random,
+                 hooks: HookBus, lifecycle: EventLifecycle):
+        self._engine = engine
+        self._scheduler = scheduler
+        self._planner = planner
+        self._timing = timing
+        self._executor = executor
+        self._network = network
+        self._config = config
+        self._rng = rng
+        self._hooks = hooks
+        self._lifecycle = lifecycle
+        self._queue: list[QueuedEvent] = []
+        self._round_active = False
+        self._round_outstanding = 0
+        self._round_index = 0
+        self._event_outstanding: dict[str, int] = {}
+        self._event_done_queueing: set[str] = set()
+        self._rounds: list[RoundLog] = []
+        self._events_remaining = 0
+        self._enqueue_seq = 0
+        self._deferral_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def rounds(self) -> list[RoundLog]:
+        """Per-round diagnostic log (copy)."""
+        return list(self._rounds)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_remaining(self) -> int:
+        """Events enqueued but not yet completed or dropped."""
+        return self._events_remaining
+
+    @property
+    def round_outstanding(self) -> int:
+        """Flows whose completion the current round still waits on."""
+        return self._round_outstanding
+
+    @round_outstanding.setter
+    def round_outstanding(self, value: int) -> None:
+        # Tests pin this to simulate a mid-round state.
+        self._round_outstanding = value
+
+    @property
+    def lifecycle(self) -> EventLifecycle:
+        return self._lifecycle
+
+    # ----------------------------------------------------- queue admission
+
+    def enqueue(self, event: UpdateEvent, origin: str = "submitted") -> None:
+        """Admit ``event`` into the waiting queue and kick a round check.
+
+        Used for both trace arrivals (``origin="submitted"``) and
+        simulator-generated repair events (``origin="repair"``). The round
+        check is deferred to an engine event at the current time so that
+        simultaneous arrivals (a batch queued at t=0) are all visible to
+        the first scheduling decision.
+        """
+        record = self._lifecycle.register(event.event_id, self._engine.now,
+                                          origin=origin)
+        self._hooks.emit(StateTransition(record))
+        self._queue.append(QueuedEvent(event, seq=self._enqueue_seq))
+        self._enqueue_seq += 1
+        self._hooks.emit(EventArrived(now=self._engine.now,
+                                      event_id=event.event_id,
+                                      flow_count=len(event.flows),
+                                      origin=origin))
+        self._events_remaining += 1
+        self.schedule_round()
+
+    def schedule_round(self) -> None:
+        """Schedule a round check at the current simulated time."""
+        self._engine.schedule_callback(self._engine.now, self.maybe_round,
+                                       tag="round")
+
+    # ---------------------------------------------------------- the stages
+
+    def maybe_round(self) -> None:
+        """Run one round through the staged pipeline (no-op if a round is
+        already active or the queue is empty)."""
+        if self._round_active or not self._queue:
+            return
+        self._round_active = True
+        ctx = self._collect()
+        decision = self._schedule(ctx)
+        plan_time = self._timing.plan_time(decision.planning_ops)
+        if not self._admit(ctx, decision, plan_time):
+            return
+        admitted, total_cost, round_end = self._execute(decision, plan_time)
+        self._settle(decision, plan_time, admitted, total_cost, round_end)
+        self._account()
+
+    def _collect(self) -> SchedulingContext:
+        """Stage 1 — snapshot the queue into a scheduling context."""
+        return SchedulingContext(now=self._engine.now,
+                                 queue=list(self._queue),
+                                 planner=self._planner,
+                                 network=self._network, rng=self._rng)
+
+    def _schedule(self, ctx: SchedulingContext) -> RoundDecision:
+        """Stage 2 — consult the scheduler; fall back on terminal stalls.
+
+        Every queued event moves QUEUED→PROBED for the consultation; the
+        admit stage settles each into ADMITTED or back to QUEUED.
+        """
+        now = self._engine.now
+        for queued in ctx.queue:
+            self._advance(queued.event.event_id, EventState.PROBED, now)
+        decision = self._scheduler.select(ctx)
+        if decision.empty and self.should_fallback():
+            decision = self.fallback_decision(ctx, decision)
+        return decision
+
+    def _admit(self, ctx: SchedulingContext, decision: RoundDecision,
+               plan_time: float) -> bool:
+        """Stage 3 — commit lifecycle moves and announce the round.
+
+        Returns False when the decision is empty: the round is abandoned
+        (after deadlock/stall checks) and nothing executes.
+        """
+        now = self._engine.now
+        admitted_ids = set()
+        for admission in decision.admissions:
+            event_id = admission.queued.event.event_id
+            decision.transitions.append(
+                self._advance(event_id, EventState.ADMITTED, now))
+            admitted_ids.add(event_id)
+        for queued in ctx.queue:
+            event_id = queued.event.event_id
+            if event_id not in admitted_ids:
+                self._advance(event_id, EventState.QUEUED, now)
+        self._round_index += 1
+        self._hooks.emit(PreRound(
+            now=now, index=self._round_index,
+            admitted=tuple(a.queued.event.event_id
+                           for a in decision.admissions),
+            planning_ops=decision.planning_ops, plan_time=plan_time,
+            queue_depth=len(self._queue),
+            cache_hits=decision.cache_hits,
+            cache_misses=decision.cache_misses,
+            cache_invalidations=decision.cache_invalidations))
+        if self._round_index > self._config.max_rounds:
+            raise SimulationError(
+                f"exceeded {self._config.max_rounds} scheduling rounds")
+        if decision.empty:
+            self._round_active = False
+            self._check_deadlock()
+            return False
+        return True
+
+    def _execute(self, decision: RoundDecision,
+                 plan_time: float) -> tuple[list[str], float, float]:
+        """Stage 4 — apply the admitted plans and schedule flow finishes.
+
+        Returns ``(admitted_ids, total_cost, round_end)`` for the settle
+        stage; execution failures defer their events in place.
+        """
+        setup_barrier = self._config.round_barrier == "setup"
+        now = self._engine.now
+        exec_start = now + plan_time
+        admitted_ids: list[str] = []
+        total_cost = 0.0
+        round_end = exec_start
+        for admission in decision.admissions:
+            event_id = admission.queued.event.event_id
+            self._advance(event_id, EventState.EXECUTING, now)
+            try:
+                record = self._executor.execute(self._network, admission.plan,
+                                                exec_start)
+            except (ControlPlaneError, PlacementError) as exc:
+                # Rule installs / migration drains exhausted their retries
+                # (or the state no longer admits the plan). The executor
+                # already rolled the network back; charge the wasted
+                # simulated time to the round and requeue the event.
+                round_end = max(round_end,
+                                exec_start + getattr(exc, "elapsed", 0.0))
+                self._exec_failed(admission, exc)
+                continue
+            admitted_ids.append(event_id)
+            total_cost += admission.plan.cost
+            round_end = max(round_end, record.finish_setup_time)
+            self._hooks.emit(EventAdmitted(
+                exec_start=exec_start, event_id=event_id,
+                cost=admission.plan.cost,
+                migrations=admission.plan.migration_count,
+                flows=len(admission.plan.flow_plans),
+                setup_done_time=record.finish_setup_time))
+            admitted_flow_ids = set()
+            for flow_plan in admission.plan.flow_plans:
+                flow = flow_plan.flow
+                admitted_flow_ids.add(flow.flow_id)
+                finish = record.finish_setup_time + flow.service_time
+                if not setup_barrier:
+                    self._round_outstanding += 1
+                self._event_outstanding[event_id] = \
+                    self._event_outstanding.get(event_id, 0) + 1
+                self._engine.schedule_callback(
+                    finish,
+                    lambda f=flow, e=event_id: self._flow_finished(f, e),
+                    tag=f"flow-finish:{event_id}/{flow.flow_id}")
+            # Queue bookkeeping: drop admitted flows; drop drained events.
+            admission.queued.remaining = [
+                f for f in admission.queued.remaining
+                if f.flow_id not in admitted_flow_ids]
+            if admission.queued.done:
+                self._queue.remove(admission.queued)
+                self._event_done_queueing.add(event_id)
+                if setup_barrier:
+                    # Under the pipelined reading the event is "complete"
+                    # once its update is fully applied; its flows keep
+                    # transmitting as ordinary traffic.
+                    self._complete(event_id, record.finish_setup_time)
+            else:
+                # Partial admission (flow-level baseline): the event keeps
+                # queueing with its remaining flows.
+                self._advance(event_id, EventState.QUEUED, now)
+        return admitted_ids, total_cost, round_end
+
+    def _settle(self, decision: RoundDecision, plan_time: float,
+                admitted_ids: list[str], total_cost: float,
+                round_end: float) -> None:
+        """Stage 5 — charge queue waits, log the round, arm the barrier."""
+        setup_barrier = self._config.round_barrier == "setup"
+        self._hooks.emit(PostRound(
+            now=self._engine.now, index=self._round_index,
+            waiting=tuple(q.event.event_id for q in self._queue)))
+        self._rounds.append(RoundLog(
+            index=self._round_index, start_time=self._engine.now,
+            plan_time=plan_time, admitted_events=tuple(admitted_ids),
+            planning_ops=decision.planning_ops, total_cost=total_cost,
+            cache_hits=decision.cache_hits,
+            cache_misses=decision.cache_misses,
+            cache_invalidations=decision.cache_invalidations))
+        if setup_barrier:
+            self._engine.schedule_callback(round_end, self._end_round,
+                                           tag="end-round")
+        elif self._round_outstanding == 0:
+            # Every admission failed and rolled back: no flow transmission
+            # will end this round, so end it once the wasted retry time has
+            # elapsed (the deferred events are already back in the queue).
+            self._engine.schedule_callback(round_end, self._end_round,
+                                           tag="end-round")
+
+    def _account(self) -> None:
+        """Stage 6 — verify network bookkeeping when configured."""
+        if self._config.verify_invariants:
+            self._network.check_invariants()
+
+    def _end_round(self) -> None:
+        self._round_active = False
+        self.maybe_round()
+
+    # ------------------------------------------------------ stall handling
+
+    def should_fallback(self) -> bool:
+        """Fallback only when waiting cannot help: nothing is running and no
+        future engine event (arrival, churn) will change the state."""
+        return (self._config.stall_fallback
+                and self._round_outstanding == 0
+                and self._engine.pending == 0)
+
+    def fallback_decision(self, ctx: SchedulingContext,
+                          prior: RoundDecision) -> RoundDecision:
+        """Admit the first feasible queued event in arrival order.
+
+        ``prior`` is the scheduler's empty decision; its planning ops and
+        probe-cache counters carry over into the fallback decision.
+        """
+        ops = prior.planning_ops
+        for queued in ctx.queue:
+            plan = self._planner.plan_event(
+                self._network, queued.subevent(queued.remaining), self._rng,
+                commit=False)
+            ops += plan.planning_ops
+            if plan.feasible:
+                return RoundDecision(
+                    admissions=[Admission(queued=queued, plan=plan)],
+                    planning_ops=ops,
+                    cache_hits=prior.cache_hits,
+                    cache_misses=prior.cache_misses,
+                    cache_invalidations=prior.cache_invalidations)
+        return RoundDecision(planning_ops=ops,
+                             cache_hits=prior.cache_hits,
+                             cache_misses=prior.cache_misses,
+                             cache_invalidations=prior.cache_invalidations)
+
+    def _check_deadlock(self) -> None:
+        if self._round_outstanding != 0 or self._engine.pending != 0:
+            return
+        if self._config.max_deferrals is not None:
+            self._handle_stall()
+            return
+        raise SimulationError(
+            f"deadlock: {len(self._queue)} events queued, nothing "
+            f"running, and no event can be placed (first blocked: "
+            f"{self._queue[0].event.event_id})")
+
+    def _handle_stall(self) -> None:
+        """Degrade gracefully when no queued event can ever be placed.
+
+        Nothing is running and no future engine event can change the state
+        (a post-failure partition is the canonical case), so waiting is
+        useless. Every stalled event is charged one deferral; events past
+        ``max_deferrals`` are dropped with accounting. Each pass strictly
+        increases deferral counts, so the stall resolves within
+        ``max_deferrals + 1`` passes instead of burning ``max_rounds`` —
+        and without tripping the stall fallback, which already ran and
+        found nothing feasible.
+        """
+        for queued in list(self._queue):
+            self._defer(queued, requeue=False)
+        if self._queue:
+            self.schedule_round()
+
+    # ------------------------------------------------------ defer and drop
+
+    def _exec_failed(self, admission: Admission, exc: Exception) -> None:
+        """An admitted plan's execution failed terminally; requeue it.
+
+        The executor has already rolled the network back to its
+        pre-attempt state (and emitted the retry accounting), so the
+        queued event (whose ``remaining`` flows were never trimmed — that
+        happens only after a successful execute) simply goes back through
+        :meth:`_defer`.
+        """
+        event_id = admission.queued.event.event_id
+        self._hooks.emit(ExecutionFailed(
+            now=self._engine.now, event_id=event_id,
+            attempts=getattr(exc, "attempts", 1), reason=str(exc)))
+        self._defer(admission.queued)
+
+    def _defer(self, queued: QueuedEvent, requeue: bool = True) -> None:
+        """Charge ``queued`` one deferral; requeue or drop it.
+
+        ``requeue`` moves the event to the back of the queue with a fresh
+        sequence number, so FIFO treats it as newly arrived — a failed
+        event must not wedge the queue head. Stall passes keep the order
+        (``requeue=False``): every stalled event is charged together and
+        relative order carries no information.
+        """
+        event_id = queued.event.event_id
+        count = self._deferral_counts.get(event_id, 0) + 1
+        self._deferral_counts[event_id] = count
+        now = self._engine.now
+        self._advance(event_id, EventState.DEFERRED, now)
+        self._hooks.emit(EventDeferred(now=now, event_id=event_id,
+                                       count=count))
+        limit = self._config.max_deferrals
+        if limit is not None and count > limit:
+            self._drop_event(queued)
+            return
+        self._advance(event_id, EventState.QUEUED, now)
+        if requeue:
+            self._queue.remove(queued)
+            queued.seq = self._enqueue_seq
+            self._enqueue_seq += 1
+            self._queue.append(queued)
+
+    def _drop_event(self, queued: QueuedEvent) -> None:
+        """Evict an event that exhausted its requeue deferrals.
+
+        Its never-placed flows' demand is accounted as stranded traffic;
+        any cost it realized through earlier partial admissions stays in
+        the metrics (that traffic really moved). The probe cache forgets
+        the event's keys so they stop occupying slots.
+        """
+        event_id = queued.event.event_id
+        self._queue.remove(queued)
+        stranded = sum(flow.demand for flow in queued.remaining)
+        self._advance(event_id, EventState.DROPPED, self._engine.now)
+        self._hooks.emit(EventDropped(now=self._engine.now,
+                                      event_id=event_id,
+                                      stranded_demand=stranded))
+        self._events_remaining -= 1
+        cache = getattr(self._scheduler, "cache", None)
+        if cache is not None:
+            cache.forget_event(event_id)
+
+    # ----------------------------------------------------------- completion
+
+    def _flow_finished(self, flow: Flow, event_id: str) -> None:
+        """An admitted flow's transmission ended (engine callback).
+
+        A mid-round fault may have stranded (removed) the flow; its
+        replacement travels in a repair event, but the admission barrier
+        still releases here at the nominal finish time.
+        """
+        setup_barrier = self._config.round_barrier == "setup"
+        if self._network.has_flow(flow.flow_id):
+            self._network.remove(flow.flow_id)
+        self._event_outstanding[event_id] -= 1
+        self._hooks.emit(FlowFinished(now=self._engine.now,
+                                      flow_id=flow.flow_id,
+                                      event_id=event_id))
+        if setup_barrier:
+            # Completion was recorded at setup time; flow drain only
+            # frees bandwidth (and may unblock a waiting round).
+            self.maybe_round()
+            return
+        if (self._event_outstanding[event_id] == 0
+                and event_id in self._event_done_queueing):
+            self._complete(event_id, self._engine.now)
+        self._round_outstanding -= 1
+        if self._round_outstanding == 0:
+            self._round_active = False
+            self.maybe_round()
+
+    def _complete(self, event_id: str, time: float) -> None:
+        """Mark an event complete (lifecycle terminal + hook)."""
+        self._advance(event_id, EventState.COMPLETED, time)
+        self._hooks.emit(EventCompleted(now=time, event_id=event_id))
+        self._events_remaining -= 1
+
+    # -------------------------------------------------------------- helpers
+
+    def _advance(self, event_id: str, to: EventState,
+                 at: float) -> TransitionRecord:
+        record = self._lifecycle.advance(event_id, to, at)
+        self._hooks.emit(StateTransition(record))
+        return record

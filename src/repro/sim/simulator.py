@@ -1,12 +1,15 @@
 """Trace-driven network-update simulation (paper §V).
 
-The simulator wires everything together: events arrive into a queue, the
-scheduler is consulted in *rounds*, admitted plans are executed on the live
-network, and the admitted events' flows transmit until they complete — at
-which point the next round begins. This round barrier matches the paper's
-model (Fig. 3: each event occupies the network for its migration cost plus
-its execution time; the next event starts afterwards), and P-LMTF's benefit
-comes precisely from admitting several compatible events into one round.
+The simulator is now a thin driver around three collaborators:
+
+* :class:`~repro.sim.pipeline.RoundPipeline` — the staged round machinery
+  (collect → schedule → admit → execute → settle → account) and all queue
+  / lifecycle state,
+* :class:`~repro.sim.lifecycle.EventLifecycle` — the explicit event state
+  machine, asserted on every move,
+* :class:`~repro.sim.hooks.HookBus` — where every cross-cutting concern
+  (metrics, trace log, fault injection, background churn, control-plane
+  retry accounting) subscribes; the core imports none of them.
 
 Timeline of one round::
 
@@ -14,139 +17,38 @@ Timeline of one round::
     |-- plan: α+1 cost probes --|-- migrate ---|-- install --|-- flows
     |                           |   (drain ∝ Cost(U))        |  transmit --|
 
-Every admitted flow's completion is an engine event; the round ends when the
-last admitted flow completes. An event completes when all its flows have
-completed (for the flow-level baseline that spans many rounds).
+Every admitted flow's completion is an engine event; the round ends when
+the last admitted flow completes (paper Fig. 3), and an event completes
+when all its flows have (for the flow-level baseline that spans many
+rounds). ``SimulationConfig`` and ``RoundLog`` are re-exported here for
+backward compatibility; they live in :mod:`repro.sim.config` and
+:mod:`repro.sim.pipeline`.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
 
 from repro.core.event import UpdateEvent
-from repro.core.exceptions import (
-    ControlPlaneError,
-    InsufficientBandwidthError,
-    PlacementError,
-    SimulationError,
-)
+from repro.core.exceptions import SimulationError
 from repro.core.executor import PlanExecutor, RetryPolicy
-from repro.core.flow import Flow, FlowKind
 from repro.core.planner import EventPlanner
-from repro.network.failures import FailureInjector, repair_event
 from repro.network.network import Network
 from repro.network.routing.provider import PathProvider
-from repro.sim.faults import LinkFault, SwitchFault
-from repro.sched.base import (
-    Admission,
-    QueuedEvent,
-    RoundDecision,
-    Scheduler,
-    SchedulingContext,
-)
+from repro.sched.base import RoundDecision, Scheduler, SchedulingContext
+from repro.sim.churn import ChurnDriver
+from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
-from repro.sim.metrics import MetricsCollector, RunMetrics
+from repro.sim.hooks import HookBus, RunStarted
+from repro.sim.lifecycle import EventLifecycle
+from repro.sim.metrics import MetricsCollector, MetricsSubscriber, RunMetrics
+from repro.sim.pipeline import RoundLog, RoundPipeline
 from repro.sim.timing import TimingModel
-from repro.sim.tracelog import SimulationListener
+from repro.sim.tracelog import ListenerSubscriber, SimulationListener
 from repro.traces.base import TraceGenerator
 
-
-@dataclass(frozen=True)
-class SimulationConfig:
-    """Run-level simulator knobs.
-
-    Attributes:
-        seed: seed for the planner RNG (path tiebreaks). Scheduler sampling
-            uses the scheduler's own seed.
-        verify_invariants: re-derive and assert network bookkeeping after
-            every round (slow; the test suite turns it on).
-        stall_fallback: when the scheduler admits nothing, nothing is
-            running, and no future engine event can change the state, scan
-            the queue in arrival order and admit the first feasible event
-            instead of deadlocking. A strict-FIFO purist can turn this off
-            and accept :class:`SimulationError` on pathological workloads.
-        max_rounds: safety valve on scheduling rounds.
-        background_churn: when True, finite-duration background flows
-            complete over simulated time and (optionally) respawn, so the
-            network state — and therefore queued events' costs — keeps
-            changing, as §IV-A of the paper describes.
-        churn_respawn: replace each completed background flow with a fresh
-            trace flow to hold utilization roughly constant.
-        round_barrier: when the next scheduling round may start.
-            ``completion`` (default, matching the paper's Fig. 3 arithmetic
-            and its "an update event cannot finish until such flows have
-            been completed") waits for every admitted flow to finish
-            transmitting; an event's ECT then includes its flows'
-            transmissions. ``setup`` starts the next round as soon as the
-            admitted updates are installed (plan + migration drain +
-            install) — the pipelined reading in which ECT measures only the
-            update application; admitted flows keep transmitting across
-            subsequent rounds and contend with later events. Used by the
-            model-sensitivity ablation.
-        exec_max_retries: execution attempts after the first failure on an
-            unreliable control plane (ignored on the reliable default).
-        exec_backoff_s: backoff before the first execution retry; doubles
-            per retry.
-        exec_deadline_s: per-plan budget of simulated execution seconds;
-            ``inf`` disables the deadline.
-        max_deferrals: requeue budget per event. An admitted event whose
-            execution fails is requeued (deferred); an event that can
-            never be placed while the run is otherwise stalled is likewise
-            deferred instead of deadlocking. Past this many deferrals the
-            event is *dropped* with accounting (``RunMetrics.
-            dropped_events`` / ``stranded_traffic``). ``None`` (default)
-            keeps the legacy strictness: execution failures still requeue,
-            but nothing is ever dropped and a permanent stall raises
-            :class:`SimulationError` as before.
-        repair_flow_duration: transmission duration given to the
-            replacement flows of auto-generated repair events (stranded
-            permanent background flows have none of their own).
-    """
-
-    seed: int = 0
-    verify_invariants: bool = False
-    stall_fallback: bool = True
-    max_rounds: int = 1_000_000
-    background_churn: bool = False
-    churn_respawn: bool = True
-    round_barrier: str = "completion"
-    exec_max_retries: int = 2
-    exec_backoff_s: float = 0.05
-    exec_deadline_s: float = math.inf
-    max_deferrals: int | None = None
-    repair_flow_duration: float = 30.0
-
-    def __post_init__(self):
-        if self.round_barrier not in ("completion", "setup"):
-            raise ValueError(f"unknown round_barrier "
-                             f"{self.round_barrier!r}; pick 'completion' "
-                             f"or 'setup'")
-        if self.max_deferrals is not None and self.max_deferrals < 0:
-            raise ValueError("max_deferrals must be >= 0 or None")
-        if self.repair_flow_duration <= 0:
-            raise ValueError("repair_flow_duration must be positive")
-
-
-@dataclass
-class RoundLog:
-    """Diagnostic record of one scheduling round.
-
-    The ``cache_*`` fields mirror the scheduler's probe-cache counters for
-    the round (all zero for schedulers without a probe cache); benchmarks
-    use them to report per-round hit rates.
-    """
-
-    index: int
-    start_time: float
-    plan_time: float
-    admitted_events: tuple[str, ...]
-    planning_ops: int
-    total_cost: float
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_invalidations: int = 0
+__all__ = ["RoundLog", "SimulationConfig", "UpdateSimulator"]
 
 
 class UpdateSimulator:
@@ -166,17 +68,19 @@ class UpdateSimulator:
             notified of rounds, admissions, completions and churn — pass a
             :class:`~repro.sim.tracelog.TraceLog` to capture a structured
             run log.
-        control_plane: optional
-            :class:`~repro.sim.controlplane.ControlPlane` under which rule
-            installs and migration drains can fail or jitter; executions
-            then retry with backoff (``config.exec_*``) and requeue on
-            exhaustion. ``None`` keeps the infallible legacy model.
-        faults: optional fault source — a
-            :class:`~repro.sim.faults.FaultSchedule` or seeded
-            :class:`~repro.sim.faults.FaultProcess` — whose link/switch
-            failures fire as engine events *during* the run. Stranded
-            flows are auto-packaged into repair events and enqueued at the
-            failure's simulated time.
+        control_plane: optional control-plane model (an object exposing
+            ``reliable`` / ``migration_ok()`` / ``install_ok()`` /
+            ``attempt_jitter_s()``, see :mod:`repro.sim.controlplane`)
+            under which rule installs and migration drains can fail or
+            jitter; executions then retry with backoff (``config.exec_*``)
+            and requeue on exhaustion. ``None`` keeps the infallible
+            legacy model.
+        faults: optional fault source — any plugin exposing
+            ``attach(sim)``, e.g. a :class:`~repro.sim.faults.FaultSchedule`
+            or seeded :class:`~repro.sim.faults.FaultProcess` — whose
+            link/switch failures fire as engine events *during* the run.
+            Stranded flows are auto-packaged into repair events and
+            enqueued at the failure's simulated time.
     """
 
     def __init__(self, network: Network, provider: PathProvider,
@@ -192,42 +96,41 @@ class UpdateSimulator:
         self._planner = planner or EventPlanner(provider)
         self._timing = timing or TimingModel()
         self._config = config or SimulationConfig()
+        self._hooks = HookBus()
+        self._lifecycle = EventLifecycle()
         self._executor = PlanExecutor(
             self._timing, control_plane=control_plane,
             retry=RetryPolicy(max_retries=self._config.exec_max_retries,
                               backoff_s=self._config.exec_backoff_s,
-                              deadline_s=self._config.exec_deadline_s))
-        self._faults = faults
-        self._injector = FailureInjector(network)
+                              deadline_s=self._config.exec_deadline_s),
+            hooks=self._hooks)
         if (self._config.background_churn and self._config.churn_respawn
                 and churn_trace is None):
             raise ValueError("background_churn with churn_respawn requires "
                              "a churn_trace generator")
-        self._churn_trace = churn_trace
-        self._listener = listener
         self._rng = random.Random(self._config.seed)
-        if churn_trace is not None:
-            # Respawned flows obey the same host-link cap as initial loading.
-            from repro.traces.background import BackgroundLoader
-            self._churn_loader = BackgroundLoader(
-                network, provider, churn_trace, random.Random(
-                    self._config.seed + 1))
-        else:
-            self._churn_loader = None
         self._engine = SimulationEngine()
         self._metrics = MetricsCollector(scheduler.name)
-        self._queue: list[QueuedEvent] = []
-        self._round_active = False
-        self._round_outstanding = 0
-        self._round_index = 0
-        self._event_outstanding: dict[str, int] = {}
-        self._event_done_queueing: set[str] = set()
-        self._rounds: list[RoundLog] = []
+        self._pipeline = RoundPipeline(
+            engine=self._engine, scheduler=scheduler, planner=self._planner,
+            timing=self._timing, executor=self._executor, network=network,
+            config=self._config, rng=self._rng, hooks=self._hooks,
+            lifecycle=self._lifecycle)
+        # Subscription order is the observable record order: metrics first,
+        # listener second (matching the monolith's call order), plugins
+        # last (they only consume RunStarted).
+        MetricsSubscriber(self._metrics, self._hooks)
+        if listener is not None:
+            ListenerSubscriber(listener, self._hooks)
+        if faults is not None:
+            self.attach(faults)
+        if churn_trace is not None or self._config.background_churn:
+            # Respawned flows obey the same host-link cap as initial
+            # loading; the driver's RNG is independent of the planner's.
+            self.attach(ChurnDriver(
+                network, provider, churn_trace,
+                random.Random(self._config.seed + 1)))
         self._submitted: list[UpdateEvent] = []
-        self._events_remaining = 0
-        self._enqueue_seq = 0
-        self._churn_deficit = 0
-        self._deferral_counts: dict[str, int] = {}
         self._ran = False
 
     # ------------------------------------------------------------ public API
@@ -237,13 +140,56 @@ class UpdateSimulator:
         return self._network
 
     @property
+    def engine(self) -> SimulationEngine:
+        return self._engine
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    @property
+    def hooks(self) -> HookBus:
+        """The bus every cross-cutting concern subscribes on."""
+        return self._hooks
+
+    @property
+    def lifecycle(self) -> EventLifecycle:
+        """The event-lifecycle registry (asserted on every move)."""
+        return self._lifecycle
+
+    @property
+    def pipeline(self) -> RoundPipeline:
+        return self._pipeline
+
+    @property
     def now(self) -> float:
         return self._engine.now
 
     @property
     def rounds(self) -> list[RoundLog]:
         """Diagnostic per-round log (available after :meth:`run`)."""
-        return list(self._rounds)
+        return self._pipeline.rounds
+
+    @property
+    def events_remaining(self) -> int:
+        """Events enqueued but not yet completed or dropped."""
+        return self._pipeline.events_remaining
+
+    def attach(self, plugin) -> None:
+        """Attach a hook-bus plugin — anything exposing ``attach(sim)``."""
+        plugin.attach(self)
+
+    def enqueue(self, event: UpdateEvent, origin: str = "submitted") -> None:
+        """Enqueue a mid-run event (plugins use this for repair events)."""
+        self._pipeline.enqueue(event, origin)
+
+    def schedule_round(self) -> None:
+        """Schedule a round check at the current simulated time."""
+        self._pipeline.schedule_round()
+
+    def maybe_round(self) -> None:
+        """Run a round check immediately."""
+        self._pipeline.maybe_round()
 
     def submit(self, events: list[UpdateEvent]) -> None:
         """Queue update events for the run (callable multiple times)."""
@@ -272,14 +218,11 @@ class UpdateSimulator:
         self._ran = True
         self._scheduler.reset()
         for event in sorted(self._submitted, key=lambda e: e.arrival_time):
-            self._engine.schedule_at(event.arrival_time,
-                                     self._arrival_callback(event))
-        if self._faults is not None:
-            for spec in self._faults.materialize(self._network):
-                self._engine.schedule_at(spec.at,
-                                         self._fault_callback(spec))
-        if self._config.background_churn:
-            self._setup_churn()
+            self._engine.schedule_callback(
+                event.arrival_time,
+                lambda e=event: self._pipeline.enqueue(e),
+                tag=f"arrival:{event.event_id}")
+        self._hooks.emit(RunStarted(self))
         self._engine.run()
         incomplete = self._metrics.incomplete_events()
         if incomplete:
@@ -290,399 +233,24 @@ class UpdateSimulator:
             self._network.check_invariants()
         return self._metrics.finalize()
 
-    # -------------------------------------------------------------- arrivals
+    # --------------------------------------------------- compatibility shims
+    # Tests (and downstream notebooks) poke these pre-refactor private
+    # names; they delegate to the pipeline, which owns the round state.
 
-    def _arrival_callback(self, event: UpdateEvent):
-        def on_arrival():
-            self._queue.append(QueuedEvent(event, seq=self._enqueue_seq))
-            self._enqueue_seq += 1
-            self._metrics.on_enqueue(event.event_id, self._engine.now,
-                                     len(event.flows))
-            self._events_remaining += 1
-            # Defer the round so that simultaneous arrivals (a batch queued
-            # at t=0) are all visible to the first scheduling decision.
-            self._engine.schedule_at(self._engine.now, self._maybe_round)
-        return on_arrival
+    @property
+    def _round_outstanding(self) -> int:
+        return self._pipeline.round_outstanding
 
-    # ---------------------------------------------------------------- rounds
-
-    def _maybe_round(self) -> None:
-        if self._round_active or not self._queue:
-            return
-        self._round_active = True
-        ctx = SchedulingContext(now=self._engine.now, queue=list(self._queue),
-                                planner=self._planner,
-                                network=self._network, rng=self._rng)
-        decision = self._scheduler.select(ctx)
-        if decision.empty and self._should_fallback():
-            decision = self._fallback_decision(ctx, decision)
-        plan_time = self._timing.plan_time(decision.planning_ops)
-        self._metrics.on_round(plan_time, decision.cache_hits,
-                               decision.cache_misses,
-                               decision.cache_invalidations)
-        self._round_index += 1
-        if self._listener is not None:
-            self._listener.on_round(
-                self._engine.now, self._round_index,
-                [a.queued.event.event_id for a in decision.admissions],
-                decision.planning_ops, plan_time, len(self._queue))
-        if self._round_index > self._config.max_rounds:
-            raise SimulationError(
-                f"exceeded {self._config.max_rounds} scheduling rounds")
-        if decision.empty:
-            self._round_active = False
-            self._check_deadlock()
-            return
-        self._execute_round(decision, plan_time)
+    @_round_outstanding.setter
+    def _round_outstanding(self, value: int) -> None:
+        self._pipeline.round_outstanding = value
 
     def _should_fallback(self) -> bool:
-        """Fallback only when waiting cannot help: nothing is running and no
-        future engine event (arrival, churn) will change the state."""
-        return (self._config.stall_fallback
-                and self._round_outstanding == 0
-                and self._engine.pending == 0)
+        return self._pipeline.should_fallback()
 
     def _fallback_decision(self, ctx: SchedulingContext,
                            prior: RoundDecision) -> RoundDecision:
-        """Admit the first feasible queued event in arrival order.
+        return self._pipeline.fallback_decision(ctx, prior)
 
-        ``prior`` is the scheduler's empty decision; its planning ops and
-        probe-cache counters carry over into the fallback decision.
-        """
-        ops = prior.planning_ops
-        for queued in ctx.queue:
-            plan = self._planner.plan_event(
-                self._network, queued.subevent(queued.remaining), self._rng,
-                commit=False)
-            ops += plan.planning_ops
-            if plan.feasible:
-                return RoundDecision(
-                    admissions=[Admission(queued=queued, plan=plan)],
-                    planning_ops=ops,
-                    cache_hits=prior.cache_hits,
-                    cache_misses=prior.cache_misses,
-                    cache_invalidations=prior.cache_invalidations)
-        return RoundDecision(planning_ops=ops,
-                             cache_hits=prior.cache_hits,
-                             cache_misses=prior.cache_misses,
-                             cache_invalidations=prior.cache_invalidations)
-
-    def _check_deadlock(self) -> None:
-        if self._round_outstanding != 0 or self._engine.pending != 0:
-            return
-        if self._config.max_deferrals is not None:
-            self._handle_stall()
-            return
-        raise SimulationError(
-            f"deadlock: {len(self._queue)} events queued, nothing "
-            f"running, and no event can be placed (first blocked: "
-            f"{self._queue[0].event.event_id})")
-
-    def _handle_stall(self) -> None:
-        """Degrade gracefully when no queued event can ever be placed.
-
-        Nothing is running and no future engine event can change the state
-        (a post-failure partition is the canonical case), so waiting is
-        useless. Every stalled event is charged one deferral; events past
-        ``max_deferrals`` are dropped with accounting. Each pass strictly
-        increases deferral counts, so the stall resolves within
-        ``max_deferrals + 1`` passes instead of burning ``max_rounds`` —
-        and without tripping the stall fallback, which already ran and
-        found nothing feasible.
-        """
-        for queued in list(self._queue):
-            self._defer(queued, requeue=False)
-        if self._queue:
-            self._engine.schedule_at(self._engine.now, self._maybe_round)
-
-    # ------------------------------------------------------- defer and drop
-
-    def _exec_failed(self, admission: Admission, exc: Exception) -> None:
-        """An admitted plan's execution failed terminally; requeue it.
-
-        The executor has already rolled the network back to its
-        pre-attempt state, so the queued event (whose ``remaining`` flows
-        were never trimmed — that happens only after a successful execute)
-        simply goes back through :meth:`_defer`.
-        """
-        event_id = admission.queued.event.event_id
-        attempts = getattr(exc, "attempts", 1)
-        if attempts > 1:
-            self._metrics.on_retries(attempts - 1)
-        if self._listener is not None:
-            self._listener.on_exec_failure(self._engine.now, event_id,
-                                           attempts, str(exc))
-        self._defer(admission.queued)
-
-    def _defer(self, queued: QueuedEvent, requeue: bool = True) -> None:
-        """Charge ``queued`` one deferral; requeue or drop it.
-
-        ``requeue`` moves the event to the back of the queue with a fresh
-        sequence number, so FIFO treats it as newly arrived — a failed
-        event must not wedge the queue head. Stall passes keep the order
-        (``requeue=False``): every stalled event is charged together and
-        relative order carries no information.
-        """
-        event_id = queued.event.event_id
-        count = self._deferral_counts.get(event_id, 0) + 1
-        self._deferral_counts[event_id] = count
-        self._metrics.on_deferral(event_id)
-        if self._listener is not None:
-            self._listener.on_deferral(self._engine.now, event_id, count)
-        limit = self._config.max_deferrals
-        if limit is not None and count > limit:
-            self._drop_event(queued)
-            return
-        if requeue:
-            self._queue.remove(queued)
-            queued.seq = self._enqueue_seq
-            self._enqueue_seq += 1
-            self._queue.append(queued)
-
-    def _drop_event(self, queued: QueuedEvent) -> None:
-        """Evict an event that exhausted its requeue deferrals.
-
-        Its never-placed flows' demand is accounted as stranded traffic;
-        any cost it realized through earlier partial admissions stays in
-        the metrics (that traffic really moved). The probe cache forgets
-        the event's keys so they stop occupying slots.
-        """
-        event_id = queued.event.event_id
-        self._queue.remove(queued)
-        stranded = sum(flow.demand for flow in queued.remaining)
-        self._metrics.on_drop(event_id, self._engine.now, stranded)
-        self._events_remaining -= 1
-        cache = getattr(self._scheduler, "cache", None)
-        if cache is not None:
-            cache.forget_event(event_id)
-        if self._listener is not None:
-            self._listener.on_drop(self._engine.now, event_id, stranded)
-
-    # ---------------------------------------------------------------- faults
-
-    def _fault_callback(self, spec: "LinkFault | SwitchFault"):
-        def on_fault():
-            if isinstance(spec, LinkFault):
-                record = self._injector.fail_link(
-                    spec.u, spec.v, both_directions=spec.both_directions)
-            else:
-                record = self._injector.fail_switch(spec.switch)
-            self._metrics.on_fault()
-            if self._listener is not None:
-                self._listener.on_fault(self._engine.now, record.description,
-                                        len(record.stranded),
-                                        record.stranded_demand)
-            if record.stranded:
-                # Stranded flows (background traffic or mid-transmission
-                # update flows) become a repair event competing in the
-                # ordinary update queue, per the paper's framing of failure
-                # recovery as just another update-event source. Permanent
-                # background flows carry no finite duration of their own,
-                # so replacements always get the configured one.
-                repair = repair_event(
-                    record, arrival_time=self._engine.now,
-                    duration=self._config.repair_flow_duration)
-                self._enqueue_internal(repair)
-            if spec.heal_at is not None:
-                self._engine.schedule_at(spec.heal_at,
-                                         self._heal_callback(record))
-            # Re-check the queue: capacity loss cannot unblock anything,
-            # but if this fault was the last pending engine event the run
-            # must fall through to stall handling instead of draining with
-            # events still queued.
-            self._engine.schedule_at(self._engine.now, self._maybe_round)
-        return on_fault
-
-    def _heal_callback(self, record):
-        def on_heal():
-            self._injector.heal(record)
-            self._metrics.on_heal()
-            if self._listener is not None:
-                self._listener.on_heal(self._engine.now, record.description)
-            # Restored capacity may make queued events feasible again.
-            self._engine.schedule_at(self._engine.now, self._maybe_round)
-        return on_heal
-
-    def _enqueue_internal(self, event: UpdateEvent) -> None:
-        """Enqueue a simulator-generated event (a failure repair) mid-run."""
-        self._queue.append(QueuedEvent(event, seq=self._enqueue_seq))
-        self._enqueue_seq += 1
-        self._metrics.on_enqueue(event.event_id, self._engine.now,
-                                 len(event.flows))
-        self._events_remaining += 1
-        self._engine.schedule_at(self._engine.now, self._maybe_round)
-
-    def _execute_round(self, decision: RoundDecision,
-                       plan_time: float) -> None:
-        setup_barrier = self._config.round_barrier == "setup"
-        exec_start = self._engine.now + plan_time
-        admitted_ids = []
-        total_cost = 0.0
-        round_end = exec_start
-        for admission in decision.admissions:
-            event_id = admission.queued.event.event_id
-            try:
-                record = self._executor.execute(self._network, admission.plan,
-                                                exec_start)
-            except (ControlPlaneError, PlacementError) as exc:
-                # Rule installs / migration drains exhausted their retries
-                # (or the state no longer admits the plan). The executor
-                # already rolled the network back; charge the wasted
-                # simulated time to the round and requeue the event.
-                round_end = max(round_end,
-                                exec_start + getattr(exc, "elapsed", 0.0))
-                self._exec_failed(admission, exc)
-                continue
-            if record.attempts > 1:
-                self._metrics.on_retries(record.attempts - 1)
-            admitted_ids.append(event_id)
-            total_cost += admission.plan.cost
-            round_end = max(round_end, record.finish_setup_time)
-            self._metrics.on_exec_start(event_id, exec_start)
-            self._metrics.on_admission(event_id, admission.plan.cost,
-                                       admission.plan.migration_count)
-            self._metrics.on_setup_done(event_id, record.finish_setup_time)
-            if self._listener is not None:
-                self._listener.on_admission(
-                    exec_start, event_id, admission.plan.cost,
-                    admission.plan.migration_count,
-                    len(admission.plan.flow_plans))
-            admitted_flow_ids = set()
-            for flow_plan in admission.plan.flow_plans:
-                flow = flow_plan.flow
-                admitted_flow_ids.add(flow.flow_id)
-                finish = record.finish_setup_time + flow.service_time
-                if not setup_barrier:
-                    self._round_outstanding += 1
-                self._event_outstanding[event_id] = \
-                    self._event_outstanding.get(event_id, 0) + 1
-                self._engine.schedule_at(
-                    finish, self._flow_finish_callback(flow, event_id))
-            # Queue bookkeeping: drop admitted flows; drop drained events.
-            admission.queued.remaining = [
-                f for f in admission.queued.remaining
-                if f.flow_id not in admitted_flow_ids]
-            if admission.queued.done:
-                self._queue.remove(admission.queued)
-                self._event_done_queueing.add(event_id)
-                if setup_barrier:
-                    # Under the pipelined reading the event is "complete"
-                    # once its update is fully applied; its flows keep
-                    # transmitting as ordinary traffic.
-                    self._metrics.on_completion(event_id,
-                                                record.finish_setup_time)
-                    self._events_remaining -= 1
-                    if self._listener is not None:
-                        self._listener.on_event_complete(
-                            record.finish_setup_time, event_id)
-        for queued in self._queue:
-            self._metrics.on_wait(queued.event.event_id)
-        self._rounds.append(RoundLog(
-            index=self._round_index, start_time=self._engine.now,
-            plan_time=plan_time, admitted_events=tuple(admitted_ids),
-            planning_ops=decision.planning_ops, total_cost=total_cost,
-            cache_hits=decision.cache_hits,
-            cache_misses=decision.cache_misses,
-            cache_invalidations=decision.cache_invalidations))
-        if setup_barrier:
-            self._engine.schedule_at(round_end, self._end_round)
-        elif self._round_outstanding == 0:
-            # Every admission failed and rolled back: no flow transmission
-            # will end this round, so end it once the wasted retry time has
-            # elapsed (the deferred events are already back in the queue).
-            self._engine.schedule_at(round_end, self._end_round)
-        if self._config.verify_invariants:
-            self._network.check_invariants()
-
-    def _end_round(self) -> None:
-        self._round_active = False
-        self._maybe_round()
-
-    # ------------------------------------------------------------ completion
-
-    def _flow_finish_callback(self, flow: Flow, event_id: str):
-        setup_barrier = self._config.round_barrier == "setup"
-
-        def on_finish():
-            # A mid-round fault may have stranded (removed) this flow; its
-            # replacement travels in a repair event, but the admission
-            # barrier still releases here at the nominal finish time.
-            if self._network.has_flow(flow.flow_id):
-                self._network.remove(flow.flow_id)
-            self._event_outstanding[event_id] -= 1
-            if self._listener is not None:
-                self._listener.on_flow_finish(self._engine.now,
-                                              flow.flow_id, event_id)
-            if setup_barrier:
-                # Completion was recorded at setup time; flow drain only
-                # frees bandwidth (and may unblock a waiting round).
-                self._maybe_round()
-                return
-            if (self._event_outstanding[event_id] == 0
-                    and event_id in self._event_done_queueing):
-                self._metrics.on_completion(event_id, self._engine.now)
-                self._events_remaining -= 1
-                if self._listener is not None:
-                    self._listener.on_event_complete(self._engine.now,
-                                                     event_id)
-            self._round_outstanding -= 1
-            if self._round_outstanding == 0:
-                self._round_active = False
-                self._maybe_round()
-        return on_finish
-
-    # ----------------------------------------------------------------- churn
-
-    def _setup_churn(self) -> None:
-        for flow_id in list(self._network.flow_ids()):
-            flow = self._network.placement(flow_id).flow
-            if (flow.kind is FlowKind.BACKGROUND
-                    and not math.isinf(flow.service_time)):
-                self._engine.schedule_at(
-                    self._engine.now + flow.service_time,
-                    self._background_finish_callback(flow))
-
-    def _background_finish_callback(self, flow: Flow):
-        def on_finish():
-            if self._network.has_flow(flow.flow_id):
-                self._network.remove(flow.flow_id)
-            # Churn exists to perturb queued events' costs; once every
-            # event has completed, respawning would only keep the engine
-            # alive forever.
-            before = self._churn_deficit
-            if (self._events_remaining > 0
-                    and self._config.churn_respawn
-                    and self._churn_trace is not None):
-                self._respawn_background()
-            if self._listener is not None:
-                self._listener.on_churn(
-                    self._engine.now, flow.flow_id,
-                    respawned=max(0, before + 1 - self._churn_deficit))
-            self._maybe_round()
-        return on_finish
-
-    def _respawn_background(self) -> None:
-        """Replace a completed background flow, keeping utilization level.
-
-        When the network is momentarily too hot to place a replacement, the
-        shortfall is remembered (``_churn_deficit``) and repaid at later
-        churn ticks, so long runs do not silently decay below the loaded
-        utilization target.
-        """
-        self._churn_deficit += 1
-        spawned = 0
-        while self._churn_deficit > 0 and spawned < 8:
-            replacement = self._churn_trace.sample_flow(
-                kind=FlowKind.BACKGROUND, permanent=False)
-            path = self._churn_loader.best_path(replacement)
-            if path is None:
-                break
-            try:
-                self._network.place(replacement, path)
-            except InsufficientBandwidthError:
-                break  # rule-limited networks can refuse; repay later
-            self._engine.schedule_at(
-                self._engine.now + replacement.service_time,
-                self._background_finish_callback(replacement))
-            self._churn_deficit -= 1
-            spawned += 1
+    def _maybe_round(self) -> None:
+        self._pipeline.maybe_round()

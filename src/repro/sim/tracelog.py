@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.sim import hooks as _hooks
+
 
 class SimulationListener:
     """Callback interface the simulator notifies; all hooks default to
@@ -152,3 +154,61 @@ class TraceLog(SimulationListener):
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+class ListenerSubscriber:
+    """Feeds a :class:`SimulationListener` from hook-bus emissions.
+
+    The simulator subscribes this adapter *after* the metrics adapter, so
+    the listener observes each transition exactly where the pre-refactor
+    monolith called it — trace-record order is byte-identical.
+    """
+
+    def __init__(self, listener: SimulationListener, bus: "_hooks.HookBus"):
+        self._listener = listener
+        bus.subscribe(_hooks.PreRound, self._on_pre_round)
+        bus.subscribe(_hooks.EventAdmitted, self._on_admitted)
+        bus.subscribe(_hooks.EventCompleted, self._on_completed)
+        bus.subscribe(_hooks.FlowFinished, self._on_flow_finished)
+        bus.subscribe(_hooks.ChurnTick, self._on_churn)
+        bus.subscribe(_hooks.FaultInjected, self._on_fault)
+        bus.subscribe(_hooks.FaultHealed, self._on_heal)
+        bus.subscribe(_hooks.ExecutionFailed, self._on_exec_failed)
+        bus.subscribe(_hooks.EventDeferred, self._on_deferred)
+        bus.subscribe(_hooks.EventDropped, self._on_dropped)
+
+    def _on_pre_round(self, hook: "_hooks.PreRound") -> None:
+        self._listener.on_round(hook.now, hook.index, list(hook.admitted),
+                                hook.planning_ops, hook.plan_time,
+                                hook.queue_depth)
+
+    def _on_admitted(self, hook: "_hooks.EventAdmitted") -> None:
+        self._listener.on_admission(hook.exec_start, hook.event_id,
+                                    hook.cost, hook.migrations, hook.flows)
+
+    def _on_completed(self, hook: "_hooks.EventCompleted") -> None:
+        self._listener.on_event_complete(hook.now, hook.event_id)
+
+    def _on_flow_finished(self, hook: "_hooks.FlowFinished") -> None:
+        self._listener.on_flow_finish(hook.now, hook.flow_id, hook.event_id)
+
+    def _on_churn(self, hook: "_hooks.ChurnTick") -> None:
+        self._listener.on_churn(hook.now, hook.flow_id, hook.respawned)
+
+    def _on_fault(self, hook: "_hooks.FaultInjected") -> None:
+        self._listener.on_fault(hook.now, hook.description,
+                                hook.stranded_flows, hook.stranded_demand)
+
+    def _on_heal(self, hook: "_hooks.FaultHealed") -> None:
+        self._listener.on_heal(hook.now, hook.description)
+
+    def _on_exec_failed(self, hook: "_hooks.ExecutionFailed") -> None:
+        self._listener.on_exec_failure(hook.now, hook.event_id,
+                                       hook.attempts, hook.reason)
+
+    def _on_deferred(self, hook: "_hooks.EventDeferred") -> None:
+        self._listener.on_deferral(hook.now, hook.event_id, hook.count)
+
+    def _on_dropped(self, hook: "_hooks.EventDropped") -> None:
+        self._listener.on_drop(hook.now, hook.event_id,
+                               hook.stranded_demand)

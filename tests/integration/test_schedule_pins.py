@@ -13,12 +13,29 @@ that *intends* to alter planning semantics, e.g. a planner cost-model fix).
 import hashlib
 
 from repro.core.flow import flow_id_state, set_flow_id_state
-from repro.experiments import fig5
+from repro.experiments import fig5, fig6
+from repro.experiments.robustness import failure_sweep
 
 #: fig5.run(seed=0, utilization=0.6, event_counts=(6,)) on the pre-kernel
 #: tree (planning-ops accounting fixes included).
 FIG5_MINI_SHA256 = \
     "ab18203c7856f8c41d1451003d3c5903d9791d50d071c157b00d1db368a203e0"
+
+#: fig6.run(seed=0, utilization=0.6, event_counts=(6,)) — churny
+#: heterogeneous workload through all three schedulers — captured on the
+#: monolithic pre-pipeline simulator. Pins the lifecycle/pipeline/hook-bus
+#: refactor as behavior-preserving.
+FIG6_MINI_SHA256 = \
+    "cb9ba7acb7f2a4611b773884587400e7fe713ab672e5f31fe45a6212fe78682e"
+
+#: failure_sweep(seed=1, events=4, utilization=0.5, fault_rates=(0.0, 0.05),
+#: horizon=40.0) — faults + background churn + flaky control plane +
+#: defer/drop budgets, captured on the monolithic pre-pipeline simulator.
+#: The differential test for the refactored round pipeline: every fault
+#: injection, repair enqueue, execution retry, deferral and drop must land
+#: on identical simulated timestamps and counters.
+FAULTED_GRID_SHA256 = \
+    "dafdd2d76ac406aaff795e88470ef1e98649b3541940e4d9919c403e7c2dad16"
 
 
 class TestSchedulePins:
@@ -37,3 +54,35 @@ class TestSchedulePins:
         assert digest == FIG5_MINI_SHA256, (
             "fig5 mini-run JSON diverged from the pinned pre-kernel "
             f"schedule: {digest}")
+
+    def test_fig6_mini_run_is_byte_identical(self):
+        saved = flow_id_state()
+        set_flow_id_state(0)
+        try:
+            result = fig6.run(seed=0, utilization=0.6, event_counts=(6,))
+        finally:
+            set_flow_id_state(saved)
+        digest = hashlib.sha256(result.to_json().encode()).hexdigest()
+        assert digest == FIG6_MINI_SHA256, (
+            "fig6 mini-run JSON diverged from the pinned pre-pipeline "
+            f"schedule: {digest}")
+
+    def test_faulted_churn_flaky_grid_is_byte_identical(self):
+        # The full fault pipeline in one pin: mid-run link failures with
+        # heals, repair events competing in the queue, an unreliable
+        # control plane (install/migration failures + jitter) driving
+        # retries and deferrals, drop budgets, and background churn — all
+        # through FIFO/LMTF/P-LMTF. This is the differential test that the
+        # staged round pipeline is byte-identical to the monolith it
+        # replaced.
+        saved = flow_id_state()
+        set_flow_id_state(0)
+        try:
+            grid = failure_sweep(seed=1, events=4, utilization=0.5,
+                                 fault_rates=(0.0, 0.05), horizon=40.0)
+        finally:
+            set_flow_id_state(saved)
+        digest = hashlib.sha256(grid.to_json().encode()).hexdigest()
+        assert digest == FAULTED_GRID_SHA256, (
+            "faulted+churn+flaky-control-plane grid JSON diverged from "
+            f"the pinned pre-pipeline schedule: {digest}")

@@ -1,0 +1,140 @@
+"""Unit tests for the hook bus, tagged callbacks, and scheduler registry."""
+
+import pytest
+
+from repro.sched import (
+    SCHEDULER_KINDS,
+    build_scheduler,
+    make_scheduler,
+    register_scheduler,
+    standard_scheduler_specs,
+)
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.lmtf import LMTFScheduler
+from repro.sim.engine import SimulationEngine, TaggedCallback
+from repro.sim.hooks import (
+    EventArrived,
+    EventCompleted,
+    Hook,
+    HookBus,
+)
+
+
+class TestHookBus:
+    def test_dispatch_is_exact_type(self):
+        bus = HookBus()
+        seen = []
+        bus.subscribe(EventArrived, seen.append)
+        arrived = EventArrived(now=1.0, event_id="U1", flow_count=2,
+                               origin="submitted")
+        bus.emit(arrived)
+        bus.emit(EventCompleted(now=2.0, event_id="U1"))
+        assert seen == [arrived]
+
+    def test_handlers_run_in_subscription_order(self):
+        # Record order IS subscription order — the byte-identity contract
+        # (metrics before listener) depends on it.
+        bus = HookBus()
+        order = []
+        bus.subscribe(EventCompleted, lambda h: order.append("metrics"))
+        bus.subscribe(EventCompleted, lambda h: order.append("listener"))
+        bus.emit(EventCompleted(now=0.0, event_id="U1"))
+        assert order == ["metrics", "listener"]
+
+    def test_emit_without_handlers_is_counted_but_silent(self):
+        bus = HookBus()
+        bus.emit(EventCompleted(now=0.0, event_id="U1"))
+        assert bus.emitted == 1
+        assert bus.handlers(EventCompleted) == ()
+
+    def test_handlers_lists_subscribers(self):
+        bus = HookBus()
+
+        def handler(hook):
+            pass
+
+        bus.subscribe(EventArrived, handler)
+        assert bus.handlers(EventArrived) == (handler,)
+
+    def test_payloads_are_frozen(self):
+        hook = EventCompleted(now=0.0, event_id="U1")
+        with pytest.raises(AttributeError):
+            hook.event_id = "U2"
+
+    def test_payloads_are_hooks(self):
+        assert issubclass(EventArrived, Hook)
+
+    def test_repr_mentions_handler_counts(self):
+        bus = HookBus()
+        bus.subscribe(EventArrived, lambda h: None)
+        assert "EventArrived" in repr(bus)
+
+
+class TestTaggedCallbacks:
+    def test_tagged_callback_runs_and_reprs(self):
+        hits = []
+        cb = TaggedCallback(lambda: hits.append(1), tag="arrival:U1")
+        cb()
+        assert hits == [1]
+        assert repr(cb) == "<callback arrival:U1>"
+
+    def test_schedule_callback_tags_show_in_pop_order(self):
+        engine = SimulationEngine()
+        engine.schedule_callback(2.0, lambda: None, tag="round")
+        engine.schedule_callback(1.0, lambda: None, tag="arrival:U1")
+        engine.schedule_at(3.0, lambda: None)  # untagged legacy path
+        assert engine.pending_tags() == ["arrival:U1", "round",
+                                         "?function"]
+
+    def test_cancelled_callbacks_leave_the_tag_listing(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_callback(1.0, lambda: None, tag="doomed")
+        engine.schedule_callback(2.0, lambda: None, tag="kept")
+        handle.cancel()
+        assert engine.pending_tags() == ["kept"]
+
+    def test_schedule_callback_same_fifo_semantics(self):
+        # Same (time, seq) total order as schedule_at: ties pop FIFO.
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_callback(1.0, lambda: order.append("a"), tag="a")
+        engine.schedule_callback(1.0, lambda: order.append("b"), tag="b")
+        engine.run()
+        assert order == ["a", "b"]
+
+
+class TestSchedulerRegistry:
+    def test_make_scheduler_builds_registered_kinds(self):
+        assert isinstance(make_scheduler("fifo"), FIFOScheduler)
+        lmtf = make_scheduler("lmtf", alpha=4, seed=7)
+        assert isinstance(lmtf, LMTFScheduler)
+
+    def test_make_scheduler_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler kind"):
+            make_scheduler("bogus")
+
+    def test_build_scheduler_requires_kind(self):
+        with pytest.raises(ValueError, match="has no 'kind' key"):
+            build_scheduler({"alpha": 4})
+
+    def test_register_scheduler_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheduler("fifo")(FIFOScheduler)
+
+    def test_register_scheduler_adds_new_kind(self):
+        @register_scheduler("test-dummy")
+        class Dummy(FIFOScheduler):
+            pass
+
+        try:
+            assert isinstance(make_scheduler("test-dummy"), Dummy)
+        finally:
+            del SCHEDULER_KINDS["test-dummy"]
+
+    def test_standard_specs_are_the_paper_triple(self):
+        specs = standard_scheduler_specs(seed=5, alpha=3)
+        assert [s["kind"] for s in specs] == ["fifo", "lmtf", "plmtf"]
+        assert specs[1]["seed"] == 14  # seed + 9 sampling convention
+        assert specs[2]["alpha"] == 3
+        for spec in specs:
+            build_scheduler(spec)  # all resolvable
