@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper figure or ablation.
+"""Command-line interface: regenerate any paper figure or ablation, or run
+the long-lived service mode.
 
 Examples::
 
@@ -7,10 +8,14 @@ Examples::
     repro fig6 --seed 3
     repro fig7 --events 30
     repro report --out results/ --quick
+    repro serve --stream synthetic --rate 0.5 --events 200
     python -m repro.cli fig9 --utilization 0.7
 
-Each command prints the figure's series as an aligned ASCII table; see
-EXPERIMENTS.md for the paper-vs-measured comparison.
+Each figure command prints the figure's series as an aligned ASCII table;
+see EXPERIMENTS.md for the paper-vs-measured comparison. ``repro serve``
+ingests an unbounded arrival stream through one scheduler with the
+lifecycle auditor attached (see :mod:`repro.sim.service`) and drains
+gracefully on Ctrl-C.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "Update' (ICDCS 2017)")
     parser.add_argument("figure",
                         help="figure id (fig1..fig9, ablation-*, "
-                             "robustness-*), 'list', or 'report'")
+                             "robustness-*), 'list', 'report', or 'serve'")
     parser.add_argument("--seed", type=int, default=0,
                         help="master random seed (default 0)")
     parser.add_argument("--events", type=int, default=None,
@@ -63,9 +68,120 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the long-lived service mode: ingest an unbounded "
+                    "update-event stream through one scheduler with the "
+                    "lifecycle auditor attached.")
+    parser.add_argument("--stream", default="synthetic",
+                        choices=("benson", "yahoo", "synthetic"),
+                        help="flow-shape source for streamed events "
+                             "(default synthetic)")
+    parser.add_argument("--rate", type=float, default=0.5,
+                        help="mean Poisson arrival rate in events/s "
+                             "(default 0.5)")
+    parser.add_argument("--scheduler", default="plmtf",
+                        choices=("fifo", "lmtf", "plmtf", "flow-level"),
+                        help="scheduling policy (default plmtf)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master random seed (default 0)")
+    parser.add_argument("--alpha", type=int, default=4,
+                        help="LMTF/P-LMTF sample size (default 4)")
+    parser.add_argument("--k", type=int, default=4,
+                        help="Fat-Tree arity (default 4; the figures "
+                             "use 8)")
+    parser.add_argument("--utilization", type=float, default=0.5,
+                        help="background fabric utilization (default 0.5)")
+    parser.add_argument("--events", type=int, default=None, metavar="N",
+                        help="stop ingesting after N events (default: "
+                             "run until interrupted)")
+    parser.add_argument("--horizon", type=float, default=None, metavar="T",
+                        help="stop ingesting past simulated time T")
+    parser.add_argument("--min-flows", type=int, default=10,
+                        help="minimum flows per event (default 10)")
+    parser.add_argument("--max-flows", type=int, default=40,
+                        help="maximum flows per event (default 40)")
+    parser.add_argument("--queue-cap", type=int, default=64,
+                        help="backpressure high watermark (default 64)")
+    parser.add_argument("--resume-depth", type=int, default=None,
+                        help="backpressure low watermark (default "
+                             "queue-cap/2)")
+    parser.add_argument("--snapshot-every", type=float, default=60.0,
+                        metavar="T",
+                        help="simulated seconds between snapshots "
+                             "(default 60; 0 disables)")
+    parser.add_argument("--snapshot-dir", default="service-snapshots",
+                        help="directory for snapshots.jsonl / latest.json "
+                             "/ metrics.prom (default service-snapshots/)")
+    parser.add_argument("--stats-every", type=int, default=25,
+                        help="rounds between stats lines (default 25; "
+                             "0 disables)")
+    parser.add_argument("--no-audit", action="store_true",
+                        help="run without the lifecycle auditor")
+    parser.add_argument("--max-deferrals", type=int, default=8,
+                        help="deferral budget before an unplaceable event "
+                             "is dropped (default 8)")
+    return parser
+
+
+def _serve(argv: list[str]) -> int:
+    from dataclasses import replace
+
+    from repro.experiments.common import DEFAULTS, Scenario
+    from repro.sched import make_scheduler
+    from repro.sim.service import ServiceConfig, SimulationService
+    from repro.traces.arrivals import make_stream
+    from repro.traces.events import EventGeneratorConfig
+
+    args = build_serve_parser().parse_args(argv)
+    if args.scheduler in ("lmtf", "plmtf"):
+        scheduler = make_scheduler(args.scheduler, alpha=args.alpha,
+                                   seed=args.seed + 9)
+    else:
+        scheduler = make_scheduler(args.scheduler)
+    scenario = Scenario(utilization=args.utilization, seed=args.seed,
+                        defaults=replace(DEFAULTS, k=args.k))
+    sim = scenario.simulator(scheduler, max_deferrals=args.max_deferrals)
+    stream = make_stream(
+        args.stream, scenario.topology.hosts(), rate=args.rate,
+        seed=args.seed + 7,
+        config=EventGeneratorConfig(min_flows=args.min_flows,
+                                    max_flows=args.max_flows))
+    config = ServiceConfig(
+        queue_cap=args.queue_cap,
+        resume_depth=(args.queue_cap // 2 if args.resume_depth is None
+                      else args.resume_depth),
+        max_events=args.events, horizon=args.horizon,
+        snapshot_every=args.snapshot_every,
+        snapshot_dir=args.snapshot_dir if args.snapshot_every > 0 else None,
+        stats_every=args.stats_every, audit=not args.no_audit,
+        install_signals=True)
+    service = SimulationService(sim, stream, config)
+    print(f"serving {args.stream} stream at {args.rate}/s through "
+          f"{scheduler.name} (k={args.k}, util={args.utilization}); "
+          f"Ctrl-C drains gracefully")
+    started = time.time()
+    report = service.serve()
+    print(f"stopped ({report.stopped}): ingested={report.ingested} "
+          f"completed={report.completed} dropped={report.dropped} "
+          f"rounds={report.rounds} audits={report.audits} "
+          f"pauses={report.backpressure_pauses} "
+          f"snapshots={report.snapshots} "
+          f"simT={report.final_time:.1f}s "
+          f"wall={time.time() - started:.1f}s")
+    if report.metrics is not None:
+        print(report.metrics.summary())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.experiments import FIGURES
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
         print("available figures:")

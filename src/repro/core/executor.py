@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.core.exceptions import (
     ControlPlaneError,
@@ -36,6 +37,14 @@ from repro.core.exceptions import (
 from repro.core.plan import EventPlan, ExecutionRecord
 from repro.network.state import NetworkState
 from repro.sim.timing import TimingModel
+
+if TYPE_CHECKING:
+    from repro.sim.controlplane import ControlPlane
+    from repro.sim.hooks import HookBus
+
+#: One applied operation and what undoes it: ``("reroute", (flow_id,
+#: old_path))`` or ``("place", (flow_id,))``.
+_AppliedOp = tuple[str, tuple[Any, ...]]
 
 
 def apply_plan(state: NetworkState, plan: EventPlan) -> list[str]:
@@ -54,7 +63,7 @@ def apply_plan(state: NetworkState, plan: EventPlan) -> list[str]:
             raise its ``RuleSpaceError`` subtype).
     """
     _check_feasible(plan)
-    applied: list[tuple[str, tuple]] = []
+    applied: list[_AppliedOp] = []
     rerouted: list[str] = []
     try:
         for flow_plan in plan.flow_plans:
@@ -79,7 +88,7 @@ def _check_feasible(plan: EventPlan) -> None:
             f"{plan.event.event_id} ({len(plan.blocked)} blocked flows)")
 
 
-def _rollback(state: NetworkState, applied: list[tuple[str, tuple]]) -> None:
+def _rollback(state: NetworkState, applied: list[_AppliedOp]) -> None:
     """Undo partially applied operations, newest first."""
     for op, args in reversed(applied):
         if op == "place":
@@ -108,7 +117,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     deadline_s: float = math.inf
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_s < 0:
@@ -141,8 +150,9 @@ class PlanExecutor:
     """
 
     def __init__(self, timing: TimingModel | None = None,
-                 control_plane=None, retry: RetryPolicy | None = None,
-                 hooks=None):
+                 control_plane: "ControlPlane | None" = None,
+                 retry: RetryPolicy | None = None,
+                 hooks: "HookBus | None" = None) -> None:
         self._timing = timing or TimingModel()
         self._control_plane = control_plane
         self._retry = retry or RetryPolicy()
@@ -238,7 +248,7 @@ class PlanExecutor:
                 event_id=plan.event.event_id, retries=attempts - 1))
 
     def _attempt(self, state: NetworkState, plan: EventPlan,
-                 cp) -> list[str] | None:
+                 cp: "ControlPlane") -> list[str] | None:
         """One execution attempt under ``cp``.
 
         Returns the rerouted flow ids on success, or ``None`` when the
@@ -249,15 +259,19 @@ class PlanExecutor:
         would otherwise bump them with no net change), so memoized probe
         plans stay provably fresh across a failed attempt.
         """
-        versions = state.version_snapshot() \
-            if hasattr(state, "version_snapshot") else None
-        applied: list[tuple[str, tuple]] = []
+        # Version counters are a Network extension, not part of the
+        # NetworkState contract; probe for them instead of isinstance so
+        # any version-tracking state benefits.
+        snapshot_fn = getattr(state, "version_snapshot", None)
+        restore_fn = getattr(state, "restore_versions", None)
+        versions = snapshot_fn() if snapshot_fn is not None else None
+        applied: list[_AppliedOp] = []
         rerouted: list[str] = []
 
         def undo() -> None:
             _rollback(state, applied)
-            if versions is not None:
-                state.restore_versions(versions)
+            if versions is not None and restore_fn is not None:
+                restore_fn(versions)
 
         try:
             for flow_plan in plan.flow_plans:

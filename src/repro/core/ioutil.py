@@ -1,17 +1,39 @@
-"""Small filesystem utilities shared across the library.
+"""Small filesystem and artifact-identity utilities shared across the
+library.
 
-Result artifacts (trace logs, experiment JSON, sweep checkpoints) are what
-resume logic and downstream tooling trust, so they must never be observable
-half-written. :func:`atomic_write_text` provides the standard
-write-to-temp-then-rename pattern: a crash or interrupt mid-write leaves
-either the previous content or the complete new content, never a truncated
-file.
+Result artifacts (trace logs, experiment JSON, sweep checkpoints, service
+snapshots) are what resume logic and downstream tooling trust, so they must
+never be observable half-written. :func:`atomic_write_text` provides the
+standard write-to-temp-then-rename pattern: a crash or interrupt mid-write
+leaves either the previous content or the complete new content, never a
+truncated file. :func:`payload_fingerprint` is the shared content hash
+those artifacts embed so loaders can reject entries written by a
+differently-parameterized producer.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from hashlib import sha256
 from pathlib import Path
+from typing import Any
+
+
+def payload_fingerprint(payload: Any, length: int = 16) -> str:
+    """Stable short hash of a JSON-serializable ``payload``.
+
+    Canonicalizes with sorted keys (and ``str()`` for stray non-JSON
+    leaves), so the fingerprint depends only on content, not dict insertion
+    order. Used by the sweep checkpoint loader to guard cell reuse and by
+    the service's periodic snapshots to make each snapshot line
+    self-validating.
+    """
+    if length < 4 or length > 64:
+        raise ValueError(f"fingerprint length must be in [4, 64], "
+                         f"got {length}")
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return sha256(blob.encode("utf-8")).hexdigest()[:length]
 
 
 def atomic_write_text(path: str | Path, text: str,

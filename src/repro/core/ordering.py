@@ -41,7 +41,7 @@ class Step:
     payload: object  # the Migration or FlowPlan this step came from
 
     def describe(self) -> str:
-        return f"{self.kind.value} {self.flow_id} ({self.demand:.1f} Mbps)"
+        return f"{self.kind.value} {self.flow_id} ({self.demand:.1f} Mbit/s)"
 
 
 @dataclass

@@ -52,12 +52,12 @@ import warnings
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from hashlib import sha256
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.core.event import event_id_state, set_event_id_state
 from repro.core.flow import flow_id_state, set_flow_id_state
+from repro.core.ioutil import payload_fingerprint
 from repro.sim.metrics import RunMetrics
 
 #: Seconds the pool sleeps between polls of its workers.
@@ -90,9 +90,7 @@ class Cell:
 
     def fingerprint(self) -> str:
         """Stable hash of (fn, params) guarding checkpoint reuse."""
-        blob = json.dumps([self.fn, self.params], sort_keys=True,
-                          default=str)
-        return sha256(blob.encode("utf-8")).hexdigest()[:16]
+        return payload_fingerprint([self.fn, self.params])
 
 
 @dataclass

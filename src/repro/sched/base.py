@@ -39,7 +39,7 @@ class QueuedEvent:
     remaining: list[Flow] = field(default_factory=list)
     seq: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.remaining:
             self.remaining = list(self.event.flows)
 

@@ -33,6 +33,10 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the entry has been popped off the heap (executed or
+    #: discarded as a tombstone). A handle kept past that point must not
+    #: be able to touch the engine's tombstone accounting.
+    popped: bool = field(default=False, compare=False)
 
 
 class TaggedCallback:
@@ -46,7 +50,7 @@ class TaggedCallback:
 
     __slots__ = ("fn", "tag")
 
-    def __init__(self, fn: Callable[[], None], tag: str):
+    def __init__(self, fn: Callable[[], None], tag: str) -> None:
         self.fn = fn
         self.tag = tag
 
@@ -62,7 +66,8 @@ class EventHandle:
 
     __slots__ = ("_entry", "_engine")
 
-    def __init__(self, entry: _ScheduledEvent, engine: "SimulationEngine"):
+    def __init__(self, entry: _ScheduledEvent,
+                 engine: "SimulationEngine") -> None:
         self._entry = entry
         self._engine = engine
 
@@ -74,9 +79,21 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._entry.cancelled
 
+    @property
+    def executed(self) -> bool:
+        """True once the entry already ran (cancelling is then a no-op)."""
+        return self._entry.popped and not self._entry.cancelled
+
     def cancel(self) -> None:
-        """Mark the event so it will be skipped when popped (idempotent)."""
-        if not self._entry.cancelled:
+        """Mark the event so it will be skipped when popped (idempotent).
+
+        Cancelling a handle whose entry was already popped — executed by
+        :meth:`SimulationEngine.step` or discarded as a tombstone — is a
+        no-op: the entry is no longer on the heap, so counting it as a
+        tombstone would make :attr:`SimulationEngine.pending` undercount
+        (even go negative) and mis-trigger stall/deadlock logic downstream.
+        """
+        if not self._entry.cancelled and not self._entry.popped:
             self._entry.cancelled = True
             self._engine._note_cancelled()
 
@@ -84,7 +101,7 @@ class EventHandle:
 class SimulationEngine:
     """Priority-queue event loop with a monotone simulated clock."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._heap: list[_ScheduledEvent] = []
         self._seq = itertools.count()
@@ -105,6 +122,16 @@ class SimulationEngine:
     def processed(self) -> int:
         """How many events have executed so far."""
         return self._processed
+
+    def live_pending(self) -> int:
+        """Recount pending events by scanning the heap (O(n)).
+
+        Ground truth for the O(1) :attr:`pending` counter; the lifecycle
+        auditor cross-checks the two every round to turn tombstone-count
+        drift into an immediate failure instead of a misfired
+        stall-fallback or deadlock diagnosis.
+        """
+        return sum(1 for entry in self._heap if not entry.cancelled)
 
     def schedule_at(self, time: float,
                     callback: Callable[[], None]) -> EventHandle:
@@ -155,6 +182,7 @@ class SimulationEngine:
         """Execute the earliest pending event; False when none remain."""
         while self._heap:
             entry = heapq.heappop(self._heap)
+            entry.popped = True
             if entry.cancelled:
                 self._cancelled -= 1
                 continue
@@ -209,6 +237,6 @@ class SimulationEngine:
 
     def _peek(self) -> _ScheduledEvent | None:
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).popped = True
             self._cancelled -= 1
         return self._heap[0] if self._heap else None

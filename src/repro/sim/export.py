@@ -1,0 +1,175 @@
+"""Live observability subscribers: counter export and periodic stats.
+
+Both classes are plain hook-bus plugins (``sim.attach(...)``) with no
+simulator support code — the same extension surface fault injection and
+churn use. :class:`CounterExporter` accumulates monotonic counters from
+hook emissions and renders them in the Prometheus text exposition format
+(write the file where a node-exporter textfile collector looks, or serve
+it verbatim). :class:`StatsLine` prints a one-line digest every N settled
+rounds so an operator can eyeball a long service run without attaching a
+trace log.
+
+Neither subscriber mutates simulator state, so attaching them never
+changes a schedule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.ioutil import atomic_write_text
+from repro.sim import hooks as _hooks
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.sim.hooks import SimulatorPort
+
+__all__ = ["CounterExporter", "StatsLine"]
+
+#: (counter name, help text) in render order.
+_COUNTERS = (
+    ("events_arrived", "Update events that entered the queue."),
+    ("events_completed", "Update events that finished."),
+    ("events_dropped", "Update events evicted past their deferral budget."),
+    ("events_deferred", "Deferrals charged (an event can defer repeatedly)."),
+    ("rounds", "Scheduling rounds settled (empty rounds included)."),
+    ("admissions", "Admissions that executed successfully."),
+    ("flows_finished", "Admitted flows that completed transmission."),
+    ("exec_retries", "Failed execution attempts that were retried."),
+    ("exec_failures", "Admissions whose execution failed terminally."),
+    ("faults_injected", "Link/switch failures fired mid-run."),
+    ("faults_healed", "Failures that healed."),
+    ("churn_ticks", "Background flow completions."),
+)
+
+#: (gauge name, help text, reader) in render order.
+_GAUGES = (
+    ("queue_depth", "Events waiting in the scheduler queue.",
+     lambda sim: sim.pipeline.queue_depth),
+    ("events_remaining", "Events enqueued but not yet terminal.",
+     lambda sim: sim.pipeline.events_remaining),
+    ("engine_pending", "Scheduled engine events not yet executed.",
+     lambda sim: sim.engine.pending),
+    ("sim_time_seconds", "Current simulated time.",
+     lambda sim: sim.now),
+)
+
+
+class CounterExporter:
+    """Accumulates hook-driven counters; renders Prometheus text format.
+
+    Args:
+        namespace: metric-name prefix (``<namespace>_<counter>_total``).
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        if not namespace.isidentifier():
+            raise ValueError(f"namespace must be an identifier, "
+                             f"got {namespace!r}")
+        self._namespace = namespace
+        self._sim: SimulatorPort | None = None
+        self._counts: dict[str, int] = {name: 0 for name, _ in _COUNTERS}
+
+    def attach(self, sim: SimulatorPort) -> None:
+        self._sim = sim
+        bus = sim.hooks
+        bus.subscribe(_hooks.EventArrived, self._count("events_arrived"))
+        bus.subscribe(_hooks.EventCompleted,
+                      self._count("events_completed"))
+        bus.subscribe(_hooks.EventDropped, self._count("events_dropped"))
+        bus.subscribe(_hooks.EventDeferred, self._count("events_deferred"))
+        bus.subscribe(_hooks.PostRound, self._count("rounds"))
+        bus.subscribe(_hooks.EventAdmitted, self._count("admissions"))
+        bus.subscribe(_hooks.FlowFinished, self._count("flows_finished"))
+        bus.subscribe(_hooks.ExecutionFailed, self._count("exec_failures"))
+        bus.subscribe(_hooks.ExecutionRetried, self._on_retried)
+        bus.subscribe(_hooks.FaultInjected, self._count("faults_injected"))
+        bus.subscribe(_hooks.FaultHealed, self._count("faults_healed"))
+        bus.subscribe(_hooks.ChurnTick, self._count("churn_ticks"))
+
+    def _count(self, name: str) -> Callable[[_hooks.Hook], None]:
+        def bump(_hook: _hooks.Hook) -> None:
+            self._counts[name] += 1
+        return bump
+
+    def _on_retried(self, hook: _hooks.ExecutionRetried) -> None:
+        self._counts["exec_retries"] += hook.retries
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Current counter values (a copy)."""
+        return dict(self._counts)
+
+    def render(self) -> str:
+        """The Prometheus text exposition (counters, then gauges)."""
+        ns = self._namespace
+        lines: list[str] = []
+        for name, help_text in _COUNTERS:
+            metric = f"{ns}_{name}_total"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {self._counts[name]}")
+        if self._sim is not None:
+            for name, help_text, read in _GAUGES:
+                metric = f"{ns}_{name}"
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} gauge")
+                value = read(self._sim)
+                rendered = repr(value) if isinstance(value, float) \
+                    else str(value)
+                lines.append(f"{metric} {rendered}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: "str | Path") -> None:
+        """Atomically write :meth:`render` to ``path`` (textfile-collector
+        style: scrapers never observe a torn file)."""
+        atomic_write_text(path, self.render())
+
+    def __repr__(self) -> str:
+        alive = {k: v for k, v in self._counts.items() if v}
+        return f"<CounterExporter {self._namespace} {alive}>"
+
+
+class StatsLine:
+    """Prints a one-line service digest every ``every`` settled rounds.
+
+    Args:
+        every: rounds between lines (>= 1).
+        sink: where lines go; defaults to ``print`` (stdout).
+    """
+
+    def __init__(self, every: int = 50,
+                 sink: Callable[[str], None] | None = None) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._every = every
+        self._sink: Callable[[str], None] = sink if sink is not None \
+            else print
+        self._sim: SimulatorPort | None = None
+        self._lines = 0
+
+    def attach(self, sim: SimulatorPort) -> None:
+        self._sim = sim
+        sim.hooks.subscribe(_hooks.PostRound, self._on_post_round)
+
+    @property
+    def lines(self) -> int:
+        """Digest lines emitted so far."""
+        return self._lines
+
+    def _on_post_round(self, hook: _hooks.PostRound) -> None:
+        if hook.index % self._every:
+            return
+        sim = self._sim
+        assert sim is not None  # subscribed only through attach()
+        collector = sim.metrics_collector
+        self._lines += 1
+        self._sink(
+            f"[t={hook.now:10.3f}s] round={hook.index} "
+            f"queued={sim.pipeline.queue_depth} "
+            f"executing="
+            f"{sim.pipeline.events_remaining - sim.pipeline.queue_depth} "
+            f"completed={collector.completed_count} "
+            f"dropped={collector.dropped_count} "
+            f"pending={sim.engine.pending}")

@@ -44,7 +44,9 @@ if TYPE_CHECKING:
     from repro.network.network import Network
     from repro.sim.config import SimulationConfig
     from repro.sim.engine import SimulationEngine
-    from repro.sim.lifecycle import TransitionRecord
+    from repro.sim.lifecycle import EventLifecycle, TransitionRecord
+    from repro.sim.metrics import MetricsCollector
+    from repro.sim.pipeline import RoundPipeline
 
 
 class SimulatorPort(Protocol):
@@ -69,6 +71,15 @@ class SimulatorPort(Protocol):
 
     @property
     def now(self) -> float: ...
+
+    @property
+    def lifecycle(self) -> EventLifecycle: ...
+
+    @property
+    def pipeline(self) -> RoundPipeline: ...
+
+    @property
+    def metrics_collector(self) -> MetricsCollector: ...
 
     def enqueue(self, event: UpdateEvent, origin: str = ...) -> None:
         """Enqueue a mid-run event (e.g. a failure repair)."""

@@ -119,6 +119,10 @@ class EventLifecycle:
         self._history: dict[str, list[TransitionRecord]] = {}
         self._history_limit = history_limit
         self._transitions = 0
+        # State populations maintained incrementally so counts() stays O(1)
+        # in the number of registered events — the lifecycle auditor reads
+        # it on every round of an unbounded service run.
+        self._counts: dict[EventState, int] = {s: 0 for s in EventState}
 
     # ------------------------------------------------------------- mutation
 
@@ -166,6 +170,9 @@ class EventLifecycle:
     def _apply(self, event_id: str, frm: EventState | None,
                to: EventState, at: float) -> TransitionRecord:
         record = TransitionRecord(event_id=event_id, frm=frm, to=to, at=at)
+        if frm is not None:
+            self._counts[frm] -= 1
+        self._counts[to] += 1
         self._states[event_id] = to
         history = self._history.setdefault(event_id, [])
         history.append(record)
@@ -202,10 +209,7 @@ class EventLifecycle:
 
     def counts(self) -> dict[EventState, int]:
         """Current population of every state (zero entries included)."""
-        result = {state: 0 for state in EventState}
-        for state in self._states.values():
-            result[state] += 1
-        return result
+        return dict(self._counts)
 
     def __len__(self) -> int:
         return len(self._states)

@@ -94,9 +94,11 @@ class RunMetrics:
     # Robustness counters (all zero on fault-free, reliable runs).
     # ``event_count`` and the per-event aggregates cover *completed* events;
     # ``dropped_events`` counts events evicted after exhausting their
-    # requeue deferrals, and ``stranded_traffic`` is the total bandwidth
-    # demand (Mbit/s) of update flows that were never re-homed — dropped
-    # events' unplaced flows. ``total_cost`` still includes migrations a
+    # requeue deferrals, and ``stranded_traffic`` is the aggregate bandwidth
+    # demand of update flows that were never re-homed — dropped events'
+    # unplaced flows. It is a *rate* in Mbit/s (a sum of per-flow demands,
+    # the unit convention of :mod:`repro.core.flow`), not a volume like
+    # ``total_cost`` (Mbit). ``total_cost`` still includes migrations a
     # later-dropped event realized before it stalled: that traffic really
     # moved. ``retries`` counts failed execution attempts (control plane);
     # ``deferrals`` counts requeues (execution failure or stall).
@@ -140,8 +142,10 @@ class RunMetrics:
     def summary(self) -> str:
         """One-line human-readable digest.
 
-        ``total_cost`` is migrated traffic *volume* (Mbit), not a rate —
-        see the unit conventions in :mod:`repro.core.flow`.
+        Units follow :mod:`repro.core.flow`: ``total_cost`` is migrated
+        traffic *volume* (Mbit), ``stranded_traffic`` is aggregate unmet
+        *demand* (Mbit/s) — the old ``Mbps`` spelling made the two look
+        like the same kind of quantity.
         """
         line = (f"{self.scheduler}: events={self.event_count} "
                 f"avgECT={self.average_ect:.2f}s tailECT={self.tail_ect:.2f}s "
@@ -153,7 +157,7 @@ class RunMetrics:
                      f"retries={self.retries} "
                      f"deferrals={self.deferrals} "
                      f"dropped={self.dropped_events} "
-                     f"stranded={self.stranded_traffic:.0f}Mbps")
+                     f"stranded={self.stranded_traffic:.0f}Mbit/s")
         return line
 
 
@@ -163,6 +167,8 @@ class MetricsCollector:
     def __init__(self, scheduler_name: str):
         self._scheduler = scheduler_name
         self._records: dict[str, EventRecord] = {}
+        self._completed = 0
+        self._dropped = 0
         self._plan_time = 0.0
         self._rounds = 0
         self._makespan = 0.0
@@ -218,6 +224,8 @@ class MetricsCollector:
 
     def on_completion(self, event_id: str, time: float) -> None:
         record = self._record(event_id)
+        if record.completion_time is None:
+            self._completed += 1
         record.completion_time = time
         self._makespan = max(self._makespan, time)
 
@@ -245,6 +253,7 @@ class MetricsCollector:
         if record.dropped:
             raise ValueError(f"event {event_id} dropped twice")
         record.dropped = True
+        self._dropped += 1
         self._stranded_traffic += stranded_demand
         self._makespan = max(self._makespan, time)
 
@@ -265,6 +274,30 @@ class MetricsCollector:
     @property
     def records(self) -> dict[str, EventRecord]:
         return dict(self._records)
+
+    # O(1) counters the lifecycle auditor cross-checks on every PostRound;
+    # recomputing them from ``records`` would be O(events) per round, which
+    # the unbounded service mode cannot afford.
+
+    @property
+    def record_count(self) -> int:
+        """Events ever enqueued (terminal ones included)."""
+        return len(self._records)
+
+    @property
+    def completed_count(self) -> int:
+        """Events whose completion has been recorded."""
+        return self._completed
+
+    @property
+    def dropped_count(self) -> int:
+        """Events evicted after exhausting their deferrals."""
+        return self._dropped
+
+    @property
+    def round_count(self) -> int:
+        """Rounds accounted so far (empty rounds included)."""
+        return self._rounds
 
     def incomplete_events(self) -> list[str]:
         """Events neither completed nor dropped — a drained run must have

@@ -142,6 +142,15 @@ class RoundPipeline:
         return len(self._queue)
 
     @property
+    def round_count(self) -> int:
+        """Rounds logged so far (no copy, unlike ``len(self.rounds)``)."""
+        return len(self._rounds)
+
+    def queued_event_ids(self) -> tuple[str, ...]:
+        """Event ids currently waiting, in queue order."""
+        return tuple(q.event.event_id for q in self._queue)
+
+    @property
     def events_remaining(self) -> int:
         """Events enqueued but not yet completed or dropped."""
         return self._events_remaining
@@ -258,6 +267,18 @@ class RoundPipeline:
             raise SimulationError(
                 f"exceeded {self._config.max_rounds} scheduling rounds")
         if decision.empty:
+            # An empty decision still consumed a round — PreRound above
+            # charged the round and its plan time — so the round must also
+            # settle: log it and emit PostRound. Returning early here used
+            # to leave ``RunMetrics.rounds`` ahead of ``len(rounds)`` and
+            # never charge waiting events the round they just waited
+            # through (the empty-round accounting drift the lifecycle
+            # auditor turns into a hard failure).
+            self._log_round(decision, plan_time, admitted_ids=(),
+                            total_cost=0.0)
+            self._hooks.emit(PostRound(
+                now=now, index=self._round_index,
+                waiting=tuple(q.event.event_id for q in self._queue)))
             self._round_active = False
             self._check_deadlock()
             return False
@@ -334,18 +355,19 @@ class RoundPipeline:
     def _settle(self, decision: RoundDecision, plan_time: float,
                 admitted_ids: list[str], total_cost: float,
                 round_end: float) -> None:
-        """Stage 5 — charge queue waits, log the round, arm the barrier."""
+        """Stage 5 — log the round, charge queue waits, arm the barrier.
+
+        The round log is appended *before* PostRound goes out so that
+        PostRound subscribers (the lifecycle auditor above all) observe
+        ``len(rounds) == index`` — the round they are told about is already
+        on the books.
+        """
         setup_barrier = self._config.round_barrier == "setup"
+        self._log_round(decision, plan_time, admitted_ids=admitted_ids,
+                        total_cost=total_cost)
         self._hooks.emit(PostRound(
             now=self._engine.now, index=self._round_index,
             waiting=tuple(q.event.event_id for q in self._queue)))
-        self._rounds.append(RoundLog(
-            index=self._round_index, start_time=self._engine.now,
-            plan_time=plan_time, admitted_events=tuple(admitted_ids),
-            planning_ops=decision.planning_ops, total_cost=total_cost,
-            cache_hits=decision.cache_hits,
-            cache_misses=decision.cache_misses,
-            cache_invalidations=decision.cache_invalidations))
         if setup_barrier:
             self._engine.schedule_callback(round_end, self._end_round,
                                            tag="end-round")
@@ -355,6 +377,23 @@ class RoundPipeline:
             # elapsed (the deferred events are already back in the queue).
             self._engine.schedule_callback(round_end, self._end_round,
                                            tag="end-round")
+
+    def _log_round(self, decision: RoundDecision, plan_time: float,
+                   admitted_ids: tuple[str, ...] | list[str],
+                   total_cost: float) -> None:
+        """Append the :class:`RoundLog` for the round just decided.
+
+        Every round that emitted PreRound must land here exactly once —
+        empty rounds included — so ``len(rounds)`` tracks the round index
+        and the metrics collector's round count.
+        """
+        self._rounds.append(RoundLog(
+            index=self._round_index, start_time=self._engine.now,
+            plan_time=plan_time, admitted_events=tuple(admitted_ids),
+            planning_ops=decision.planning_ops, total_cost=total_cost,
+            cache_hits=decision.cache_hits,
+            cache_misses=decision.cache_misses,
+            cache_invalidations=decision.cache_invalidations))
 
     def _account(self) -> None:
         """Stage 6 — verify network bookkeeping when configured."""
@@ -487,6 +526,12 @@ class RoundPipeline:
                                       event_id=event_id,
                                       stranded_demand=stranded))
         self._events_remaining -= 1
+        # DROPPED is terminal: release the per-event bookkeeping, exactly
+        # as _complete does. (The outstanding-flow count, if an earlier
+        # partial admission left flows in flight, removes itself when the
+        # last of them finishes.)
+        self._deferral_counts.pop(event_id, None)
+        self._event_done_queueing.discard(event_id)
         cache = getattr(self._scheduler, "cache", None)
         if cache is not None:
             cache.forget_event(event_id)
@@ -503,7 +548,14 @@ class RoundPipeline:
         setup_barrier = self._config.round_barrier == "setup"
         if self._network.has_flow(flow.flow_id):
             self._network.remove(flow.flow_id)
-        self._event_outstanding[event_id] -= 1
+        # Drop the outstanding-count entry at zero instead of parking a
+        # zero forever: the dict must not grow one entry per event over an
+        # unbounded (service-mode) run.
+        remaining = self._event_outstanding[event_id] - 1
+        if remaining:
+            self._event_outstanding[event_id] = remaining
+        else:
+            del self._event_outstanding[event_id]
         self._hooks.emit(FlowFinished(now=self._engine.now,
                                       flow_id=flow.flow_id,
                                       event_id=event_id))
@@ -512,8 +564,7 @@ class RoundPipeline:
             # frees bandwidth (and may unblock a waiting round).
             self.maybe_round()
             return
-        if (self._event_outstanding[event_id] == 0
-                and event_id in self._event_done_queueing):
+        if remaining == 0 and event_id in self._event_done_queueing:
             self._complete(event_id, self._engine.now)
         self._round_outstanding -= 1
         if self._round_outstanding == 0:
@@ -521,10 +572,19 @@ class RoundPipeline:
             self.maybe_round()
 
     def _complete(self, event_id: str, time: float) -> None:
-        """Mark an event complete (lifecycle terminal + hook)."""
+        """Mark an event complete (lifecycle terminal + hook).
+
+        Terminal states release the event's per-event bookkeeping
+        (deferral count, done-queueing membership; the outstanding-flow
+        count removes itself when it hits zero) — otherwise every event
+        ever processed leaves a dict entry behind, which an unbounded
+        service-mode run turns into a leak.
+        """
         self._advance(event_id, EventState.COMPLETED, time)
         self._hooks.emit(EventCompleted(now=time, event_id=event_id))
         self._events_remaining -= 1
+        self._event_done_queueing.discard(event_id)
+        self._deferral_counts.pop(event_id, None)
 
     # -------------------------------------------------------------- helpers
 

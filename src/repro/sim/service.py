@@ -1,0 +1,388 @@
+"""Long-running service mode: unbounded ingest with live observability.
+
+The figure experiments are batch runs — generate a finite queue, ``run()``,
+read the metrics. :class:`SimulationService` instead drives an
+:class:`~repro.sim.simulator.UpdateSimulator` as a *daemon*: it pulls
+update events lazily from an unbounded arrival stream (see
+:mod:`repro.traces.arrivals`), applies bounded-queue backpressure, writes
+periodic fingerprinted snapshots, and drains gracefully on SIGINT/SIGTERM.
+The :class:`~repro.sim.audit.LifecycleAuditor` rides along by default so
+bookkeeping drift crashes the service instead of silently corrupting weeks
+of soak-test numbers.
+
+Mechanically the service is an *open-loop* driver: exactly one pending
+arrival callback sits in the engine at any time, and firing it enqueues
+the event and schedules the next pull. Backpressure pauses that chain —
+when the scheduler queue reaches ``queue_cap``, the next event is held
+until ``PostRound`` observes the queue back at ``resume_depth`` (held
+arrivals are re-timestamped to the resume time: an open system cannot
+deliver in the past). Everything the service schedules is an ordinary
+engine event, so a service run is exactly as deterministic as a batch run
+of the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import FrameType
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.core.exceptions import SimulationError
+from repro.core.ioutil import atomic_write_text, payload_fingerprint
+from repro.sim.export import CounterExporter, StatsLine
+from repro.sim.hooks import EventCompleted, EventDropped, PostRound
+from repro.sim.metrics import RunMetrics
+
+if TYPE_CHECKING:
+    from repro.core.event import UpdateEvent
+    from repro.sim.engine import EventHandle
+    from repro.sim.simulator import UpdateSimulator
+
+__all__ = ["ServiceConfig", "ServiceReport", "SimulationService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service run.
+
+    Attributes:
+        queue_cap: backpressure high watermark — ingestion pauses while the
+            scheduler queue holds this many events.
+        resume_depth: low watermark — a paused service resumes pulling once
+            the queue drains to this depth (must be < ``queue_cap``).
+        max_events: stop ingesting after this many events (``None`` = run
+            until the stream ends or a stop is requested). The bounded CI
+            smoke run uses this.
+        horizon: stop ingesting once an arrival would land past this
+            simulated time (``None`` = no horizon).
+        snapshot_every: simulated seconds between snapshots (0 disables).
+        snapshot_dir: directory for ``snapshots.jsonl`` / ``latest.json`` /
+            ``metrics.prom`` (required when ``snapshot_every > 0``).
+        stats_every: settled rounds between one-line stats digests
+            (0 disables).
+        audit: attach a lifecycle auditor (crash on bookkeeping drift).
+        audit_every: audit every N-th round (see
+            :class:`~repro.sim.audit.LifecycleAuditor`).
+        install_signals: install SIGINT/SIGTERM handlers for graceful
+            drain while serving (restored afterwards). Disable in tests
+            and embedded callers.
+        engine_step_cap: hard ceiling on engine events processed in one
+            :meth:`SimulationService.serve` call — the runaway backstop
+            for unbounded streams.
+    """
+
+    queue_cap: int = 64
+    resume_depth: int = 32
+    max_events: int | None = None
+    horizon: float | None = None
+    snapshot_every: float = 0.0
+    snapshot_dir: str | Path | None = None
+    stats_every: int = 0
+    audit: bool = True
+    audit_every: int = 1
+    install_signals: bool = False
+    engine_step_cap: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.queue_cap < 1:
+            raise ValueError("queue_cap must be >= 1")
+        if not 0 <= self.resume_depth < self.queue_cap:
+            raise ValueError("need 0 <= resume_depth < queue_cap")
+        if self.max_events is not None and self.max_events < 0:
+            raise ValueError("max_events must be >= 0")
+        if self.horizon is not None and self.horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
+        if self.snapshot_every > 0 and self.snapshot_dir is None:
+            raise ValueError("snapshot_every needs a snapshot_dir")
+        if self.stats_every < 0:
+            raise ValueError("stats_every must be >= 0")
+        if self.audit_every < 1:
+            raise ValueError("audit_every must be >= 1")
+        if self.engine_step_cap < 1:
+            raise ValueError("engine_step_cap must be >= 1")
+
+
+@dataclass
+class ServiceReport:
+    """What one service run did, returned by :meth:`serve`.
+
+    ``stopped`` records why ingestion ended: ``"stream"`` (the stream ran
+    dry), ``"max_events"``, ``"horizon"``, or ``"signal"``. ``metrics`` is
+    the standard batch aggregate over everything the service ingested
+    (present whenever at least one event was ingested and the drain
+    completed cleanly).
+    """
+
+    stopped: str
+    ingested: int
+    completed: int
+    dropped: int
+    rounds: int
+    audits: int
+    backpressure_pauses: int
+    snapshots: int
+    final_time: float
+    metrics: RunMetrics | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+class SimulationService:
+    """Drives a simulator from an unbounded arrival stream.
+
+    Args:
+        sim: a freshly built :class:`~repro.sim.simulator.UpdateSimulator`
+            (no events submitted, never run). The service attaches its own
+            exporter/stats/auditor subscribers per ``config``.
+        stream: iterator of update events with monotonically non-decreasing
+            ``arrival_time`` — typically
+            :func:`repro.traces.arrivals.make_stream`. May be finite.
+        config: service knobs.
+    """
+
+    def __init__(self, sim: "UpdateSimulator",
+                 stream: Iterator["UpdateEvent"],
+                 config: ServiceConfig | None = None) -> None:
+        self._sim = sim
+        self._stream = stream
+        self._config = config or ServiceConfig()
+        self._exporter = CounterExporter()
+        sim.attach(self._exporter)
+        if self._config.stats_every:
+            sim.attach(StatsLine(every=self._config.stats_every))
+        self._auditor = sim.auditor
+        if self._config.audit and self._auditor is None:
+            from repro.sim.audit import LifecycleAuditor
+            self._auditor = LifecycleAuditor(every=self._config.audit_every)
+            sim.attach(self._auditor)
+        sim.hooks.subscribe(PostRound, self._on_post_round)
+        sim.hooks.subscribe(EventCompleted, self._on_terminal)
+        sim.hooks.subscribe(EventDropped, self._on_terminal)
+        self._ingested = 0
+        self._pauses = 0
+        self._snapshots = 0
+        self._held: "UpdateEvent | None" = None
+        self._arrival_handle: "EventHandle | None" = None
+        self._snapshot_handle: "EventHandle | None" = None
+        self._stream_done = False
+        self._stopped: str | None = None
+        self._served = False
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def ingested(self) -> int:
+        """Events pulled from the stream and enqueued so far."""
+        return self._ingested
+
+    @property
+    def paused(self) -> bool:
+        """True while backpressure is holding the next arrival."""
+        return self._held is not None
+
+    @property
+    def exporter(self) -> CounterExporter:
+        return self._exporter
+
+    # ------------------------------------------------------------- control
+
+    def request_stop(self, reason: str = "signal") -> None:
+        """Stop ingesting; in-flight events drain, then serve() returns.
+
+        Idempotent, safe to call from a signal handler: it only flips
+        flags and cancels the pending arrival callback.
+        """
+        if self._stream_done:
+            return
+        self._stream_done = True
+        self._stopped = reason
+        self._held = None
+        if self._arrival_handle is not None:
+            self._arrival_handle.cancel()
+            self._arrival_handle = None
+
+    def serve(self) -> ServiceReport:
+        """Run the service until the stream ends (or a stop) and the
+        last in-flight event settles; returns the :class:`ServiceReport`.
+
+        Raises:
+            SimulationError: called twice, the engine exceeded
+                ``engine_step_cap``, or (via the auditor)
+                :class:`~repro.sim.audit.AuditError` on ledger drift.
+        """
+        if self._served:
+            raise SimulationError("service already ran; build a new one")
+        self._served = True
+        sim = self._sim
+        sim.start()
+        self._pull_next()
+        if self._config.snapshot_every > 0:
+            self._snapshot_handle = sim.engine.schedule_callback(
+                sim.now + self._config.snapshot_every, self._on_snapshot,
+                tag="service:snapshot")
+        previous = self._install_signals()
+        try:
+            steps = 0
+            while sim.engine.step():
+                steps += 1
+                if steps >= self._config.engine_step_cap:
+                    raise SimulationError(
+                        f"service exceeded engine_step_cap="
+                        f"{self._config.engine_step_cap}; raise the cap "
+                        f"for longer soaks")
+        finally:
+            self._restore_signals(previous)
+        if self._auditor is not None:
+            self._auditor.assert_drained()
+        metrics: RunMetrics | None = None
+        if self._ingested and not sim.metrics_collector.incomplete_events():
+            metrics = sim.metrics_collector.finalize()
+        if self._config.snapshot_every > 0:
+            self._write_snapshot(final=True)
+        collector = sim.metrics_collector
+        return ServiceReport(
+            stopped=self._stopped or "stream",
+            ingested=self._ingested,
+            completed=collector.completed_count,
+            dropped=collector.dropped_count,
+            rounds=collector.round_count,
+            audits=self._auditor.audits if self._auditor else 0,
+            backpressure_pauses=self._pauses,
+            snapshots=self._snapshots,
+            final_time=sim.now,
+            metrics=metrics,
+            counters=self._exporter.counters)
+
+    # ----------------------------------------------------------- ingestion
+
+    def _pull_next(self) -> None:
+        """Pull one event from the stream and schedule (or hold) it."""
+        if self._stream_done:
+            return
+        if (self._config.max_events is not None
+                and self._ingested >= self._config.max_events):
+            self.request_stop("max_events")
+            return
+        event = next(self._stream, None)
+        if event is None:
+            self.request_stop("stream")
+            return
+        if (self._config.horizon is not None
+                and event.arrival_time > self._config.horizon):
+            self.request_stop("horizon")
+            return
+        if self._sim.pipeline.queue_depth >= self._config.queue_cap:
+            # Backpressure: hold this arrival; _on_post_round releases it
+            # once the queue drains to resume_depth.
+            self._held = event
+            self._pauses += 1
+            return
+        self._schedule_arrival(event)
+
+    def _schedule_arrival(self, event: "UpdateEvent") -> None:
+        when = max(self._sim.now, event.arrival_time)
+        self._arrival_handle = self._sim.engine.schedule_callback(
+            when, lambda: self._ingest(event),
+            tag=f"service:arrival:{event.event_id}")
+
+    def _ingest(self, event: "UpdateEvent") -> None:
+        self._arrival_handle = None
+        self._ingested += 1
+        self._sim.enqueue(event, origin="stream")
+        self._pull_next()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _on_post_round(self, hook: PostRound) -> None:
+        if (self._held is not None
+                and self._sim.pipeline.queue_depth
+                <= self._config.resume_depth):
+            event, self._held = self._held, None
+            self._schedule_arrival(event)
+
+    def _on_terminal(self, hook: "EventCompleted | EventDropped") -> None:
+        # Once the stream is done and the last event settled, cancel the
+        # snapshot timer so the engine drains at the real end time instead
+        # of idling forward to the next snapshot tick. The handle cancel
+        # is idempotent even if the timer already fired.
+        if (self._stream_done and self._held is None
+                and self._sim.pipeline.events_remaining == 0
+                and self._snapshot_handle is not None):
+            self._snapshot_handle.cancel()
+            self._snapshot_handle = None
+
+    # ----------------------------------------------------------- snapshots
+
+    def _on_snapshot(self) -> None:
+        self._snapshot_handle = None
+        self._write_snapshot()
+        if (self._sim.engine.pending == 0
+                and self._sim.pipeline.queue_depth > 0):
+            # With the timer popped, nothing is pending: the queue is
+            # genuinely stalled and the recurring timer was masking it
+            # from the pipeline's deadlock detection (which keys off
+            # ``engine.pending == 0``). Run a round so the pipeline can
+            # stall-handle (defer/drop) or raise its deadlock error.
+            self._sim.maybe_round()
+        if (self._stream_done and self._held is None
+                and self._sim.pipeline.events_remaining == 0):
+            return  # drained: let the engine stop at the real end time
+        self._snapshot_handle = self._sim.engine.schedule_callback(
+            self._sim.now + self._config.snapshot_every, self._on_snapshot,
+            tag="service:snapshot")
+
+    def snapshot_payload(self) -> dict[str, Any]:
+        """The current snapshot content (fingerprinted by the writer)."""
+        sim = self._sim
+        collector = sim.metrics_collector
+        return {
+            "seq": self._snapshots,
+            "time": sim.now,
+            "ingested": self._ingested,
+            "queue_depth": sim.pipeline.queue_depth,
+            "events_remaining": sim.pipeline.events_remaining,
+            "rounds": collector.round_count,
+            "completed": collector.completed_count,
+            "dropped": collector.dropped_count,
+            "paused": self.paused,
+            "backpressure_pauses": self._pauses,
+            "lifecycle": {state.value: count for state, count
+                          in sim.lifecycle.counts().items()},
+            "counters": self._exporter.counters,
+        }
+
+    def _write_snapshot(self, final: bool = False) -> None:
+        directory = Path(self._config.snapshot_dir or ".")
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = self.snapshot_payload()
+        payload["final"] = final
+        payload["fingerprint"] = payload_fingerprint(payload)
+        line = json.dumps(payload, sort_keys=True)
+        with open(directory / "snapshots.jsonl", "a",
+                  encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        atomic_write_text(directory / "latest.json", line + "\n")
+        self._exporter.write(directory / "metrics.prom")
+        self._snapshots += 1
+
+    # ------------------------------------------------------------- signals
+
+    def _install_signals(self) -> list[tuple[int, Any]]:
+        if not self._config.install_signals:
+            return []
+        previous: list[tuple[int, Any]] = []
+
+        def on_signal(signum: int, _frame: FrameType | None) -> None:
+            self.request_stop("signal")
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous.append((signum, signal.signal(signum, on_signal)))
+        return previous
+
+    def _restore_signals(self, previous: list[tuple[int, Any]]) -> None:
+        for signum, handler in previous:
+            signal.signal(signum, handler)

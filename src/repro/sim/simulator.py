@@ -28,6 +28,7 @@ backward compatibility; they live in :mod:`repro.sim.config` and
 from __future__ import annotations
 
 import math
+import os
 import random
 
 from repro.core.event import UpdateEvent
@@ -37,6 +38,7 @@ from repro.core.planner import EventPlanner
 from repro.network.network import Network
 from repro.network.routing.provider import PathProvider
 from repro.sched.base import RoundDecision, Scheduler, SchedulingContext
+from repro.sim.audit import LifecycleAuditor
 from repro.sim.churn import ChurnDriver
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
@@ -81,6 +83,14 @@ class UpdateSimulator:
             link/switch failures fire as engine events *during* the run.
             Stranded flows are auto-packaged into repair events and
             enqueued at the failure's simulated time.
+        audit: attach a :class:`~repro.sim.audit.LifecycleAuditor` that
+            cross-checks lifecycle / pipeline / metrics / engine
+            bookkeeping at every settled round, raising
+            :class:`~repro.sim.audit.AuditError` on drift. Also enabled
+            globally by setting the ``REPRO_AUDIT`` environment variable
+            to anything but ``0`` / empty (how CI re-runs the schedule
+            pins audited). The auditor only reads state, so enabling it
+            never changes the schedule.
     """
 
     def __init__(self, network: Network, provider: PathProvider,
@@ -89,7 +99,8 @@ class UpdateSimulator:
                  config: SimulationConfig | None = None,
                  churn_trace: TraceGenerator | None = None,
                  listener: "SimulationListener | None" = None,
-                 control_plane=None, faults=None):
+                 control_plane=None, faults=None,
+                 audit: bool | None = None):
         self._network = network
         self._provider = provider
         self._scheduler = scheduler
@@ -130,6 +141,14 @@ class UpdateSimulator:
             self.attach(ChurnDriver(
                 network, provider, churn_trace,
                 random.Random(self._config.seed + 1)))
+        self._auditor: "LifecycleAuditor | None" = None
+        if audit is None:
+            audit = os.environ.get("REPRO_AUDIT", "0") not in ("", "0")
+        if audit:
+            # Attached last: the auditor must observe PostRound *after*
+            # the metrics subscriber charged its waits and rounds.
+            self._auditor = LifecycleAuditor()
+            self.attach(self._auditor)
         self._submitted: list[UpdateEvent] = []
         self._ran = False
 
@@ -160,6 +179,16 @@ class UpdateSimulator:
     @property
     def pipeline(self) -> RoundPipeline:
         return self._pipeline
+
+    @property
+    def metrics_collector(self) -> MetricsCollector:
+        """The live metrics ledger (the auditor cross-checks it)."""
+        return self._metrics
+
+    @property
+    def auditor(self) -> "LifecycleAuditor | None":
+        """The attached lifecycle auditor, if auditing is enabled."""
+        return self._auditor
 
     @property
     def now(self) -> float:
@@ -203,6 +232,26 @@ class UpdateSimulator:
                         f"infinite service time; event flows need a size or "
                         f"duration")
             self._submitted.append(event)
+
+    def start(self) -> None:
+        """Begin a *streaming* run (service mode).
+
+        Marks the simulator as running, resets the scheduler and emits
+        ``RunStarted`` — exactly the preamble :meth:`run` performs — but
+        schedules no arrivals and does not drive the engine: the caller
+        (:class:`~repro.sim.service.SimulationService`) injects events via
+        :meth:`enqueue` and steps the engine itself. :meth:`run` and
+        :meth:`start` are mutually exclusive on one simulator instance.
+        """
+        if self._ran:
+            raise SimulationError("simulator already ran; build a new one")
+        if self._submitted:
+            raise SimulationError(
+                "submit()ed events belong to run(); a streaming run "
+                "ingests via enqueue()")
+        self._ran = True
+        self._scheduler.reset()
+        self._hooks.emit(RunStarted(self))
 
     def run(self) -> RunMetrics:
         """Execute the simulation to completion and return run metrics.

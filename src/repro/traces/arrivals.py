@@ -1,0 +1,107 @@
+"""Unbounded arrival streams for service mode.
+
+The figure experiments generate a *finite* event queue up front
+(:meth:`~repro.traces.events.EventGenerator.generate`); the long-running
+service ingests an *unbounded* stream instead. This module builds the
+three supported streams — update-event flows shaped like the Benson or
+Yahoo! characterizations, or a plain synthetic distribution — all with
+open-loop Poisson arrivals, as lazy iterators the service pulls one event
+at a time.
+
+Every stream is a pure function of ``(kind, hosts, rate, seed, config)``,
+so two services built from the same spec replay identical arrivals — the
+property the service snapshot fingerprint records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.event import UpdateEvent
+from repro.traces.base import TraceGenerator, lognormal
+from repro.traces.benson import BensonLikeTrace
+from repro.traces.events import EventGenerator, EventGeneratorConfig
+from repro.traces.yahoo import YahooLikeTrace
+
+#: Stream kinds accepted by :func:`make_stream` (and ``repro serve``).
+STREAM_KINDS = ("benson", "yahoo", "synthetic")
+
+
+class SyntheticTrace(TraceGenerator):
+    """A deliberately simple flow distribution for smoke/load streams.
+
+    Uniform demands and log-normal durations: no heavy tail, no skew —
+    useful when exercising the service machinery itself (backpressure,
+    snapshots, audits) without the variance of the trace-shaped workloads.
+    """
+
+    name = "synthetic"
+
+    def __init__(self, hosts: Sequence[str], seed: int = 0,
+                 demand_range: tuple[float, float] = (5.0, 50.0),
+                 duration_median: float = 1.0,
+                 duration_sigma: float = 0.5):
+        super().__init__(hosts, seed=seed)
+        lo, hi = demand_range
+        if not 0 < lo <= hi:
+            raise ValueError(f"need 0 < min <= max demand, got "
+                             f"{demand_range}")
+        if duration_median <= 0 or duration_sigma < 0:
+            raise ValueError("duration_median must be > 0 and "
+                             "duration_sigma >= 0")
+        self._demand_range = (lo, hi)
+        self._duration_median = duration_median
+        self._duration_sigma = duration_sigma
+
+    def sample_demand(self) -> float:
+        lo, hi = self._demand_range
+        return self.rng.uniform(lo, hi)
+
+    def sample_duration(self) -> float:
+        return lognormal(self.rng, self._duration_median,
+                         self._duration_sigma)
+
+
+def _flow_trace(kind: str, hosts: Sequence[str],
+                seed: int) -> TraceGenerator:
+    if kind == "benson":
+        return BensonLikeTrace(hosts, seed=seed)
+    if kind == "yahoo":
+        return YahooLikeTrace(hosts, seed=seed)
+    if kind == "synthetic":
+        return SyntheticTrace(hosts, seed=seed)
+    raise ValueError(f"unknown stream kind {kind!r}; pick one of "
+                     f"{STREAM_KINDS}")
+
+
+def make_stream(kind: str, hosts: Sequence[str], rate: float,
+                seed: int = 0,
+                config: EventGeneratorConfig | None = None,
+                ) -> Iterator[UpdateEvent]:
+    """An endless Poisson arrival stream of update events.
+
+    Args:
+        kind: flow-shape source — one of :data:`STREAM_KINDS`.
+        hosts: hosts of the target network.
+        rate: mean arrival rate in events/second.
+        seed: master stream seed; the flow trace and the event generator
+            derive independent RNGs from it.
+        config: event shape (flow-count range, host demand cap); arrival
+            settings inside it are ignored — ``rate`` governs arrivals.
+
+    Returns:
+        A lazy iterator of events with strictly increasing arrival times.
+    """
+    generator = EventGenerator(_flow_trace(kind, hosts, seed=seed + 1),
+                               config=config, seed=seed + 2)
+    return generator.stream(rate)
+
+
+def replayed_stream(events: Sequence[UpdateEvent]) -> Iterator[UpdateEvent]:
+    """A finite stream replaying pre-generated ``events`` in arrival order.
+
+    Lets the service ingest a figure-style bounded queue through the same
+    streaming path (the regression suite uses this to prove streaming and
+    batch ingestion produce identical metrics).
+    """
+    return iter(sorted(events, key=lambda e: e.arrival_time))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.event import UpdateEvent, make_event
 from repro.core.flow import Flow, FlowKind, next_flow_id
@@ -117,6 +117,30 @@ class EventGenerator:
             events.append(make_event(flows, arrival_time=arrival,
                                      label=f"generated event #{index}"))
         return events
+
+    def stream(self, rate: float | None = None) -> Iterator[UpdateEvent]:
+        """Endless open-loop Poisson arrival stream of update events.
+
+        Yields events with strictly increasing ``arrival_time`` drawn from
+        exponential inter-arrivals at ``rate`` events/second (defaults to
+        the config's ``arrival_rate``); flow counts and flow shapes follow
+        the generator's config and trace exactly as :meth:`generate`.
+        The stream never terminates — service mode pulls from it lazily
+        and applies its own horizon / event-count bounds.
+        """
+        if rate is None:
+            rate = self._config.arrival_rate
+        if rate <= 0:
+            raise ValueError(f"stream rate must be positive, got {rate}")
+        now = 0.0
+        index = 0
+        while True:
+            now += self._rng.expovariate(rate)
+            width = self._rng.randint(self._config.min_flows,
+                                      self._config.max_flows)
+            yield make_event(self._event_flows(width), arrival_time=now,
+                             label=f"streamed event #{index}")
+            index += 1
 
     def _event_flows(self, width: int) -> list[Flow]:
         """Draw ``width`` flows, resampling endpoints that would push one

@@ -8,9 +8,18 @@ all the way to the serialized JSON. A pin failure means some refactor
 changed simulated behavior, not just wall-clock speed; the fix is to find
 the divergence, not to re-pin (re-pinning is only legitimate for a change
 that *intends* to alter planning semantics, e.g. a planner cost-model fix).
+
+Each pin runs twice: plain, and with ``REPRO_AUDIT=1`` so every simulator
+in the grid carries a :class:`~repro.sim.audit.LifecycleAuditor`. The
+audited digests must equal the plain pins — the auditor only reads state,
+so enabling it in production can never change a schedule — and any ledger
+drift inside these workloads (faults, churn, retries, drops included)
+would surface here as an ``AuditError`` instead of a hash mismatch.
 """
 
 import hashlib
+
+import pytest
 
 from repro.core.flow import flow_id_state, set_flow_id_state
 from repro.experiments import fig5, fig6
@@ -38,51 +47,71 @@ FAULTED_GRID_SHA256 = \
     "dafdd2d76ac406aaff795e88470ef1e98649b3541940e4d9919c403e7c2dad16"
 
 
+def _pinned_digest(run):
+    """Digest of ``run()``'s JSON from a pinned flow-id counter state.
+
+    Flow ids feed the ECMP desired-path hash, so a run is a pure function
+    of its spec only from a pinned counter state (0 = fresh process, how
+    the baselines were captured). The counter is restored afterwards so
+    flows minted by other tests cannot collide.
+    """
+    saved = flow_id_state()
+    set_flow_id_state(0)
+    try:
+        result = run()
+    finally:
+        set_flow_id_state(saved)
+    return hashlib.sha256(result.to_json().encode()).hexdigest()
+
+
+def _fig5_digest():
+    return _pinned_digest(
+        lambda: fig5.run(seed=0, utilization=0.6, event_counts=(6,)))
+
+
+def _fig6_digest():
+    return _pinned_digest(
+        lambda: fig6.run(seed=0, utilization=0.6, event_counts=(6,)))
+
+
+def _faulted_grid_digest():
+    # The full fault pipeline in one pin: mid-run link failures with
+    # heals, repair events competing in the queue, an unreliable
+    # control plane (install/migration failures + jitter) driving
+    # retries and deferrals, drop budgets, and background churn — all
+    # through FIFO/LMTF/P-LMTF. This is the differential test that the
+    # staged round pipeline is byte-identical to the monolith it
+    # replaced.
+    return _pinned_digest(
+        lambda: failure_sweep(seed=1, events=4, utilization=0.5,
+                              fault_rates=(0.0, 0.05), horizon=40.0))
+
+
+@pytest.fixture(params=["plain", "audited"])
+def audit_mode(request, monkeypatch):
+    """Run each pin twice: bare, and with the lifecycle auditor attached."""
+    if request.param == "audited":
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+    else:
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+    return request.param
+
+
 class TestSchedulePins:
-    def test_fig5_mini_run_is_byte_identical(self):
-        # Flow ids feed the ECMP desired-path hash, so the run is a pure
-        # function of its spec only from a pinned counter state (0 = fresh
-        # process, how the baseline was captured). Restore afterwards so
-        # flows minted by other tests cannot collide.
-        saved = flow_id_state()
-        set_flow_id_state(0)
-        try:
-            result = fig5.run(seed=0, utilization=0.6, event_counts=(6,))
-        finally:
-            set_flow_id_state(saved)
-        digest = hashlib.sha256(result.to_json().encode()).hexdigest()
+    def test_fig5_mini_run_is_byte_identical(self, audit_mode):
+        digest = _fig5_digest()
         assert digest == FIG5_MINI_SHA256, (
-            "fig5 mini-run JSON diverged from the pinned pre-kernel "
-            f"schedule: {digest}")
+            f"fig5 mini-run JSON ({audit_mode}) diverged from the pinned "
+            f"pre-kernel schedule: {digest}")
 
-    def test_fig6_mini_run_is_byte_identical(self):
-        saved = flow_id_state()
-        set_flow_id_state(0)
-        try:
-            result = fig6.run(seed=0, utilization=0.6, event_counts=(6,))
-        finally:
-            set_flow_id_state(saved)
-        digest = hashlib.sha256(result.to_json().encode()).hexdigest()
+    def test_fig6_mini_run_is_byte_identical(self, audit_mode):
+        digest = _fig6_digest()
         assert digest == FIG6_MINI_SHA256, (
-            "fig6 mini-run JSON diverged from the pinned pre-pipeline "
-            f"schedule: {digest}")
+            f"fig6 mini-run JSON ({audit_mode}) diverged from the pinned "
+            f"pre-pipeline schedule: {digest}")
 
-    def test_faulted_churn_flaky_grid_is_byte_identical(self):
-        # The full fault pipeline in one pin: mid-run link failures with
-        # heals, repair events competing in the queue, an unreliable
-        # control plane (install/migration failures + jitter) driving
-        # retries and deferrals, drop budgets, and background churn — all
-        # through FIFO/LMTF/P-LMTF. This is the differential test that the
-        # staged round pipeline is byte-identical to the monolith it
-        # replaced.
-        saved = flow_id_state()
-        set_flow_id_state(0)
-        try:
-            grid = failure_sweep(seed=1, events=4, utilization=0.5,
-                                 fault_rates=(0.0, 0.05), horizon=40.0)
-        finally:
-            set_flow_id_state(saved)
-        digest = hashlib.sha256(grid.to_json().encode()).hexdigest()
+    def test_faulted_churn_flaky_grid_is_byte_identical(self, audit_mode):
+        digest = _faulted_grid_digest()
         assert digest == FAULTED_GRID_SHA256, (
-            "faulted+churn+flaky-control-plane grid JSON diverged from "
-            f"the pinned pre-pipeline schedule: {digest}")
+            f"faulted+churn+flaky-control-plane grid JSON ({audit_mode}) "
+            f"diverged from the pinned pre-pipeline schedule: {digest}")

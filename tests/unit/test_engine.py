@@ -81,6 +81,55 @@ class TestCancellation:
         h1.cancel()
         assert engine.pending == 1
 
+    def test_cancel_after_execute_is_a_noop(self):
+        """A stale handle must not corrupt the tombstone counter.
+
+        Cancelling an entry that already executed used to increment
+        ``_cancelled`` even though the entry had left the heap, making
+        ``pending`` undercount — here it would read -1, which downstream
+        mis-triggers the stall fallback (``pending == 0`` checks).
+        """
+        engine = SimulationEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.step()
+        assert handle.executed
+        handle.cancel()
+        assert not handle.cancelled
+        assert engine.pending == 1
+        assert engine.pending == engine.live_pending()
+        assert engine.step()
+        assert engine.pending == 0
+        assert engine._cancelled == 0
+
+    def test_callback_cancelling_own_handle_is_a_noop(self):
+        """The canonical corruption: a callback (or code it triggers)
+        cancels the very handle being executed."""
+        engine = SimulationEngine()
+        handles = {}
+        fired = []
+
+        def fire():
+            handles["self"].cancel()
+            fired.append(engine.now)
+
+        handles["self"] = engine.schedule_at(1.0, fire)
+        engine.run()
+        assert fired == [1.0]
+        assert engine.pending == 0
+        assert engine.live_pending() == 0
+        assert engine._cancelled == 0
+
+    def test_cancel_after_tombstone_pop_stays_idempotent(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        engine.schedule_at(2.0, lambda: None)
+        engine.run()  # pops the tombstone and the live entry
+        handle.cancel()  # still idempotent after the pop
+        assert engine.pending == 0
+        assert engine._cancelled == 0
+
 
 class TestTombstoneCompaction:
     def test_pending_is_counter_not_scan(self):

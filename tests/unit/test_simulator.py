@@ -411,3 +411,98 @@ class TestChurn:
         assert metrics.event_count == 2
         # the original background flow was replaced/completed
         assert not net.has_flow("bg1")
+
+
+class HoldUntilScheduler(FIFOScheduler):
+    """Admits nothing before ``release``; plain FIFO afterwards.
+
+    Forces genuinely *empty* rounds while a future arrival keeps the
+    engine busy (so neither the stall fallback nor the deadlock check
+    fires) — the setup for the empty-round accounting regression tests.
+    """
+
+    name = "hold-until"
+
+    def __init__(self, release):
+        super().__init__()
+        self._release = release
+
+    def select(self, ctx):
+        if ctx.now < self._release:
+            from repro.sched.base import RoundDecision
+            return RoundDecision()
+        return super().select(ctx)
+
+
+class TestEmptyRoundAccounting:
+    """An empty decision consumes a round; both books must say so."""
+
+    def _run(self):
+        held = make_event([ab_flow("h0", 10.0, 2.0)], label="held")
+        late = make_event([ab_flow("l0", 10.0, 2.0)], arrival_time=5.0,
+                          label="late")
+        sim = build_simulator(scheduler=HoldUntilScheduler(release=5.0),
+                              events=[held, late])
+        return sim, sim.run(), held, late
+
+    def test_round_count_matches_round_log(self):
+        sim, metrics, _, _ = self._run()
+        # round 1 (t=0) is empty; rounds 2-3 admit the two events
+        assert metrics.rounds == len(sim.rounds) == 3
+        assert sim.rounds[0].admitted_events == ()
+
+    def test_empty_round_charges_waits_and_plan_time(self):
+        sim, metrics, held, late = self._run()
+        records = sim._metrics.records
+        # held waits through the empty round at t=0; late waits through
+        # the t=5 round that admits held ahead of it (FIFO order).
+        assert records[held.event_id].rounds_waited == 1
+        assert records[late.event_id].rounds_waited == 1
+        assert metrics.total_plan_time == pytest.approx(
+            sum(r.plan_time for r in sim.rounds))
+
+
+class TestBookkeepingHygiene:
+    """Per-event pipeline state must not outlive the event (the dicts
+    would otherwise grow without bound in service mode)."""
+
+    def _assert_purged(self, sim):
+        pipe = sim.pipeline
+        assert pipe._event_outstanding == {}
+        assert pipe._event_done_queueing == set()
+        assert pipe._deferral_counts == {}
+
+    def test_purged_after_clean_run(self):
+        sim = build_simulator()
+        sim.run()
+        self._assert_purged(sim)
+
+    def test_purged_after_flow_level_partial_admissions(self):
+        sim = build_simulator(scheduler=FlowLevelScheduler())
+        sim.run()
+        self._assert_purged(sim)
+
+    def test_purged_after_exec_failure_deferral(self):
+        from repro.sim.controlplane import ScriptedControlPlane
+        net, provider = diamond_setup()
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              config=SimulationConfig(exec_max_retries=0,
+                                                      max_deferrals=5),
+                              control_plane=ScriptedControlPlane([False]))
+        sim.submit(simple_events(1))
+        metrics = sim.run()
+        assert metrics.deferrals == 1
+        self._assert_purged(sim)
+
+    def test_purged_after_drop(self):
+        net, provider = diamond_setup()
+        net.place(ab_flow("hog", 95.0, duration=None),
+                  ("a", "s1", "top", "s2", "b"))
+        blocked = make_event([ab_flow("big", 50.0, 1.0)], label="blocked")
+        small = make_event([cd_flow("tiny", 2.0, 1.0)], label="small")
+        sim = UpdateSimulator(net, provider, FIFOScheduler(),
+                              config=SimulationConfig(max_deferrals=1))
+        sim.submit([blocked, small])
+        metrics = sim.run()
+        assert metrics.dropped_events == 1
+        self._assert_purged(sim)
