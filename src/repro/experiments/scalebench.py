@@ -1,0 +1,231 @@
+"""Deep-queue scale benchmark (``repro scale-bench``).
+
+Measures steady-state scheduling throughput (rounds/sec) at queue depths
+of 10^5–10^6 events, contrasting two admission paths over the same
+workload:
+
+* ``shards=1`` — the **unsharded baseline**: the classic scheduler path,
+  whose probe scope is the whole queue, so every round moves all N queued
+  events QUEUED→PROBED→QUEUED through the lifecycle (O(N) per round).
+* ``shards>1`` — the **sharded pipeline**
+  (:class:`~repro.sched.shard.ShardedScheduler`): probe work is
+  partitioned by topology region, speculated per shard, and replayed
+  through the deterministic ``(time, seq)`` merge; the probe scope narrows
+  to the α+1 sampled candidates, so per-round lifecycle traffic is O(α)
+  and queue operations are O(log N) via the Fenwick-indexed queue.
+
+On a single-CPU host the speedup is therefore *algorithmic* (scope
+narrowing + indexed queue), not thread parallelism — the ``thread``
+executor exists to exercise the concurrent per-shard path, but the GIL
+keeps CPU-bound probing serial. Both paths run with
+``queue_snapshots=False`` (scale mode) so neither pays the O(N) context
+copy; the contrast isolates the sharded scheduler itself.
+
+Every grid cell runs through the PR-2 cell runner
+(:func:`repro.experiments.runner.run_cells`), so ``--jobs N`` fans cells
+out to the persistent worker-pool machinery and ``--resume`` reuses
+checkpointed cells. Cells are hermetic: a cell's numbers depend only on
+its spec (timings, of course, depend on the machine).
+
+The CLI merges its measurements into a ``BENCH_<pr>.json`` snapshot under
+the ``scale_bench`` key (``--out``), alongside the microbenchmark medians
+written by ``scripts/bench_snapshot.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments.common import DEFAULTS, Scenario
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import Cell, SweepListener, run_cells
+from repro.traces.events import EventGeneratorConfig
+
+#: Default benchmark grid: one deep-queue depth, baseline vs 4 shards.
+DEPTHS = (100_000,)
+SHARD_COUNTS = (1, 4)
+
+
+def scheduler_spec(policy: str, alpha: int, seed: int, shards: int,
+                   executor: str = "serial") -> dict:
+    """The scheduler spec one bench cell runs.
+
+    ``shards=1`` is the unsharded baseline policy; ``shards>1`` wraps it
+    in the sharded admission pipeline.
+    """
+    if policy == "fifo":
+        inner: dict = {"kind": "fifo"}
+    elif policy in ("lmtf", "plmtf"):
+        inner = {"kind": policy, "alpha": alpha, "seed": seed + 9}
+    else:
+        raise ValueError(f"unsupported bench policy {policy!r}; "
+                         f"pick fifo, lmtf or plmtf")
+    if shards <= 1:
+        return inner
+    return {"kind": "sharded", "shards": shards, "executor": executor,
+            "inner": inner}
+
+
+def scale_bench_cell(depth: int, shards: int, policy: str = "plmtf",
+                     alpha: int = 4, seed: int = 0,
+                     utilization: float = 0.3, k: int = 4,
+                     rounds: int = 30, warmup: int = 5,
+                     min_flows: int = 1, max_flows: int = 2,
+                     audit: bool = False,
+                     executor: str = "serial") -> dict:
+    """One bench cell: time ``rounds`` steady-state scheduling rounds.
+
+    Builds a ``depth``-deep batch queue of small update events on a
+    ``k``-ary Fat-Tree, bulk-loads it into a *streaming* simulator
+    (``kick=False`` — one round check for the whole batch instead of one
+    engine event per enqueue), then drives the engine until ``warmup``
+    rounds have settled and times the next ``rounds`` rounds of wall
+    clock. Flow-finish engine events inside the window are part of the
+    measured work — this is end-to-end round throughput, not scheduler
+    CPU in isolation.
+
+    Returns a JSON-serializable measurement dict (the checkpoint/merge
+    payload of the cell runner).
+    """
+    from repro.sched import build_scheduler
+    from repro.sim.simulator import SimulationConfig, UpdateSimulator
+
+    scenario = Scenario(
+        utilization=utilization, seed=seed, events=depth, churn=False,
+        event_config=EventGeneratorConfig(min_flows=min_flows,
+                                          max_flows=max_flows),
+        defaults=replace(DEFAULTS, k=k))
+    t0 = time.perf_counter()
+    events = scenario.generate_events()
+    gen_s = time.perf_counter() - t0
+
+    spec = scheduler_spec(policy, alpha, seed, shards, executor)
+    scheduler = build_scheduler(spec)
+    config = SimulationConfig(seed=seed + 5, queue_snapshots=False)
+    sim = UpdateSimulator(scenario.loaded_network(), scenario.provider,
+                          scheduler, timing=scenario.timing(),
+                          config=config, audit=audit)
+    sim.start()
+    pipeline = sim.pipeline
+    t0 = time.perf_counter()
+    for event in events:
+        pipeline.enqueue(event, kick=False)
+    load_s = time.perf_counter() - t0
+    pipeline.schedule_round()
+
+    engine = sim.engine
+    while pipeline.round_count < warmup:
+        if not engine.step():
+            break
+    remaining_before = pipeline.events_remaining
+    goal = warmup + rounds
+    t0 = time.perf_counter()
+    while pipeline.round_count < goal:
+        if not engine.step():
+            break
+    elapsed = time.perf_counter() - t0
+    measured = pipeline.round_count - min(warmup, pipeline.round_count)
+    return {
+        "depth": depth,
+        "shards": shards,
+        "sharded": shards > 1,
+        "policy": policy,
+        "scheduler": scheduler.name,
+        "rounds": measured,
+        "elapsed_s": round(elapsed, 6),
+        "rounds_per_s": round(measured / elapsed, 3) if elapsed > 0 else 0.0,
+        "completed": remaining_before - pipeline.events_remaining,
+        "queue_depth_end": pipeline.queue_depth,
+        "generate_s": round(gen_s, 3),
+        "enqueue_s": round(load_s, 3),
+        "audited": bool(audit),
+    }
+
+
+def run_scale_bench(depths=DEPTHS, shard_counts=SHARD_COUNTS,
+                    policy: str = "plmtf", alpha: int | None = None,
+                    seed: int = 0, utilization: float = 0.3, k: int = 4,
+                    rounds: int = 30, warmup: int = 5,
+                    min_flows: int = 1, max_flows: int = 2,
+                    audit: bool = False, executor: str = "serial",
+                    jobs: int | None = None, checkpoint=None,
+                    resume: bool = False,
+                    listener: SweepListener | None = None,
+                    ) -> ExperimentResult:
+    """Run the (depth x shard-count) throughput grid through the cell
+    runner and fold the measurements into an :class:`ExperimentResult`.
+
+    Per depth, ``speedup`` is each configuration's rounds/sec over the
+    ``shards=1`` baseline at the same depth (blank when the grid has no
+    baseline row for that depth).
+    """
+    alpha = alpha if alpha is not None else DEFAULTS.alpha
+    cells = [
+        Cell(key=f"depth={depth}/shards={count}",
+             fn="repro.experiments.scalebench:scale_bench_cell",
+             params={"depth": depth, "shards": count, "policy": policy,
+                     "alpha": alpha, "seed": seed,
+                     "utilization": utilization, "k": k, "rounds": rounds,
+                     "warmup": warmup, "min_flows": min_flows,
+                     "max_flows": max_flows, "audit": audit,
+                     "executor": executor})
+        for depth in depths
+        for count in shard_counts
+    ]
+    outcomes = run_cells(cells, jobs=jobs or 1, checkpoint=checkpoint,
+                         resume=resume, listener=listener)
+    measurements = [outcomes[cell.key].value for cell in cells]
+    baselines = {m["depth"]: m["rounds_per_s"]
+                 for m in measurements if m["shards"] == 1}
+
+    result = ExperimentResult(
+        name="scale-bench",
+        title=f"deep-queue round throughput, {policy} on a {k}-ary "
+              f"Fat-Tree (~{utilization:.0%} load, "
+              f"{rounds} timed rounds/cell)",
+        columns=["depth", "shards", "rounds_per_s", "speedup",
+                 "completed", "enqueue_s", "audited"],
+        params={"policy": policy, "alpha": alpha, "seed": seed,
+                "utilization": utilization, "k": k, "rounds": rounds,
+                "warmup": warmup, "min_flows": min_flows,
+                "max_flows": max_flows, "executor": executor})
+    for m in measurements:
+        base = baselines.get(m["depth"])
+        speedup = (round(m["rounds_per_s"] / base, 2)
+                   if base else None)
+        result.add_row(depth=m["depth"], shards=m["shards"],
+                       rounds_per_s=m["rounds_per_s"], speedup=speedup,
+                       completed=m["completed"],
+                       enqueue_s=m["enqueue_s"], audited=m["audited"])
+    result.notes.append(
+        "shards=1 is the unsharded baseline (probe scope = whole queue); "
+        "shards>1 runs the sharded admission pipeline (O(alpha) probe "
+        "scope, Fenwick-indexed queue). Single-CPU speedup is "
+        "algorithmic, not thread parallelism.")
+    result.extras["measurements"] = measurements
+    return result
+
+
+def merge_snapshot(path: str | Path, result: ExperimentResult) -> Path:
+    """Merge the grid's measurements into ``path`` under ``scale_bench``.
+
+    The file is typically a ``BENCH_<pr>.json`` microbenchmark snapshot
+    written by ``scripts/bench_snapshot.py``; its existing keys (which the
+    CI bench-regression gate reads) are preserved. A missing file is
+    created with only the ``scale_bench`` section.
+    """
+    target = Path(path)
+    data: dict = {}
+    if target.exists():
+        data = json.loads(target.read_text(encoding="utf-8"))
+    data["scale_bench"] = {
+        "params": result.params,
+        "measurements": result.extras["measurements"],
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target

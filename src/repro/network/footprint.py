@@ -28,12 +28,28 @@ Two pieces make that proof sound:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.flow import Flow, Placement
 from repro.network.link import LinkId, path_links
 from repro.network.state import NetworkState
+
+
+def stable_shard_key(parts: Iterable[str], shards: int) -> int:
+    """A shard index in ``[0, shards)`` from a stable hash of ``parts``.
+
+    Uses CRC-32 over the sorted parts rather than :func:`hash` so the key
+    is identical across processes (``PYTHONHASHSEED`` randomizes ``str``
+    hashes, which would break the parallel runner's determinism contract).
+    Order-insensitive: callers pass link endpoints or event endpoints in
+    whatever order they hold them.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    digest = zlib.crc32("\x00".join(sorted(parts)).encode())
+    return digest % shards
 
 
 @dataclass(frozen=True)
@@ -66,6 +82,23 @@ class Footprint:
 
     def node_versions(self, state: NetworkState) -> dict[str, int]:
         return {node: state.node_version(node) for node in self.nodes}
+
+    def shard_key(self, shards: int,
+                  state: NetworkState | None = None) -> int:
+        """Shard index derived from the links this footprint touched.
+
+        Prefers the recorded integer link indices (resolved back to link
+        ids through ``state``'s link table when given) so index- and
+        string-recorded footprints of the same probe shard identically;
+        the key is a stable content hash, never :func:`hash`.
+        """
+        links: Iterable[LinkId] = self.links
+        if not self.links and self.link_idx is not None and state is not None:
+            table = state.link_table()
+            if table is not None:
+                links = (table.ids[i] for i in self.link_idx)
+        return stable_shard_key(
+            (f"{u}>{v}" for u, v in links), shards)
 
 
 class DrawCountingRandom(random.Random):

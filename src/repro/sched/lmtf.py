@@ -15,6 +15,8 @@ works well ("the power of two random choices").
 from __future__ import annotations
 
 import random
+from typing import Sequence
+
 from repro.core.plan import EventPlan
 from repro.sched.base import (
     Admission,
@@ -67,14 +69,27 @@ class LMTFScheduler(Scheduler):
     def select(self, ctx: SchedulingContext) -> RoundDecision:
         if not ctx.queue:
             return RoundDecision()
-        candidates = self.sample_candidates(ctx.queue)
+        candidates = self.probe_targets(ctx)
         plans: list[tuple[QueuedEvent, EventPlan]] = []
         ops = 0
         for queued in candidates:
             plan = self.probe_event(ctx, queued)
             ops += plan.planning_ops
             plans.append((queued, plan))
-        best = self.pick_cheapest(plans)
+        return self.decide(ctx, plans, ops)
+
+    def probe_targets(self,
+                      ctx: SchedulingContext) -> list[QueuedEvent] | None:
+        """The ``α+1`` sampled candidates (consumes this round's sample)."""
+        if not ctx.queue:
+            return []
+        return self.sample_candidates(ctx.queue)
+
+    def decide(self, ctx: SchedulingContext,
+               probes: list[tuple[QueuedEvent, EventPlan]],
+               ops: int) -> RoundDecision:
+        """Admit the cheapest feasible probe (the LMTF rule)."""
+        best = self.pick_cheapest(probes)
         if best is None:
             return self._finish(RoundDecision(planning_ops=ops))
         queued, plan = best
@@ -122,17 +137,27 @@ class LMTFScheduler(Scheduler):
             decision.cache_invalidations = stats.invalidations
         return decision
 
-    def sample_candidates(self,
-                          queue: list[QueuedEvent]) -> list[QueuedEvent]:
+    def sample_candidates(
+            self, queue: Sequence[QueuedEvent]) -> list[QueuedEvent]:
         """Head plus ``min(α, len(queue)-1)`` random non-head events.
 
         Per the paper, LMTF "does not persist in sampling α update events
         when the queue contains less than α+1" — it simply takes what is
         there. The returned list preserves arrival order.
+
+        Sampling draws *positions* (``random.sample`` over a range) rather
+        than materializing ``queue[1:]``: ``sample``'s RNG consumption
+        depends only on the population length, so the draws — and the
+        selected events — are bit-identical to sampling the slice, without
+        the O(queue) copy that dominated deep-queue rounds.
         """
-        head, rest = queue[0], queue[1:]
-        take = min(self.alpha, len(rest))
-        sampled = self._sample_rng.sample(rest, take) if take else []
+        head = queue[0]
+        take = min(self.alpha, len(queue) - 1)
+        if take:
+            positions = self._sample_rng.sample(range(1, len(queue)), take)
+            sampled = [queue[i] for i in positions]
+        else:
+            sampled = []
         candidates = [head] + sampled
         candidates.sort(key=lambda q: q.seq)
         return candidates

@@ -77,30 +77,40 @@ class PLMTFScheduler(LMTFScheduler):
                              f"pick one of {ADMIT_MODES}")
         self.admit = admit
 
-    def select(self, ctx: SchedulingContext) -> RoundDecision:
-        if not ctx.queue:
-            return RoundDecision()
-        candidates = self.sample_candidates(ctx.queue)
+    def decide(self, ctx: SchedulingContext,
+               probes: list[tuple[QueuedEvent, EventPlan]],
+               ops: int) -> RoundDecision:
+        """The two P-LMTF steps over already-computed probes.
 
-        # Step 1 — the LMTF step: probe all candidates, pick the cheapest.
-        # Probes go through the footprint cache; step-2 replans run on the
-        # transient batch view and are never cached.
-        probes: list[tuple[QueuedEvent, EventPlan]] = []
-        ops = 0
-        for queued in candidates:
-            plan = self.probe_event(ctx, queued)
-            ops += plan.planning_ops
-            probes.append((queued, plan))
+        Step 1 — the LMTF step: pick the cheapest feasible probe as the
+        round's head. (The probes themselves were planned by ``select`` —
+        or, under the sharded wrapper, shard-by-shard — and went through
+        the footprint cache; step-2 replans run on the transient batch
+        view and are never cached.)
+        """
         best = self.pick_cheapest(probes)
         if best is None:
             return self._finish(RoundDecision(planning_ops=ops))
-        head_queued, head_plan = best
+        return self._finish(self.merge_batch(ctx, probes, best, ops))
 
-        # Step 2 — opportunistic updating: walk the other candidates in
-        # arrival order and admit those that can run alongside the batch.
-        # The batch view accumulates admitted plans so that, when the
-        # simulator replays them in admission order against the live
-        # network, each applies to exactly the state it was planned against.
+    def merge_batch(self, ctx: SchedulingContext,
+                    probes: list[tuple[QueuedEvent, EventPlan]],
+                    best: tuple[QueuedEvent, EventPlan],
+                    ops: int) -> RoundDecision:
+        """Step 2 — opportunistic updating: walk the non-head candidates in
+        global ``(time, seq)`` order and admit those that can run alongside
+        the batch.
+
+        This walk is also the deterministic *cross-shard merge*: probes
+        arrive in global arrival order regardless of which shard planned
+        them, the batch view accumulates admitted plans, and a candidate
+        whose footprint conflicts with the batch (bandwidth contention or a
+        migration touching a batch-pinned flow) is demoted — left queued
+        for a later round — rather than reordered. When the simulator
+        replays the admissions in admission order against the live network,
+        each applies to exactly the state it was planned against.
+        """
+        head_queued, head_plan = best
         batch_view = NetworkView(ctx.network)
         apply_plan(batch_view, head_plan)
         admissions = [Admission(queued=head_queued, plan=head_plan)]
@@ -117,8 +127,7 @@ class PLMTFScheduler(LMTFScheduler):
                 continue
             admissions.append(Admission(queued=queued, plan=plan))
             batch_flow_ids.update(fp.flow.flow_id for fp in plan.flow_plans)
-        return self._finish(RoundDecision(admissions=admissions,
-                                          planning_ops=ops))
+        return RoundDecision(admissions=admissions, planning_ops=ops)
 
     # ------------------------------------------------------------- internals
 

@@ -1,0 +1,613 @@
+"""Region-sharded parallel admission (scale mode).
+
+At 10^5–10^6 queued events the per-round cost of the sampling schedulers
+is dominated not by planning but by O(queue) bookkeeping: snapshotting the
+queue, sweeping every event through QUEUED→PROBED→QUEUED, and slicing the
+queue to sample. :class:`ShardedScheduler` removes all of it by exploiting
+the probe/decide decomposition (:meth:`~repro.sched.base.Scheduler.
+probe_targets` / :meth:`~repro.sched.base.Scheduler.decide`):
+
+1. **Partition** — the round's probe candidates are grouped by topology
+   region (the pod of a fat-tree, the leaf group of a leaf-spine fabric,
+   via :meth:`~repro.network.topology.base.Topology.region_of`) with a
+   stable hashed fallback for unstructured topologies. Candidates in
+   different regions read disjoint edge/aggregation state, so their cost
+   probes are independent in practice — and provably independent whenever
+   the probe makes no RNG draw.
+
+2. **Speculative per-shard probing** — each shard's candidates are planned
+   against a *cloned* planner RNG with draw counting and footprint
+   recording (exactly :meth:`~repro.core.planner.EventPlanner.
+   plan_event_probed`'s purity test). A zero-draw plan is a pure function
+   of the network state and the candidate, so it is valid no matter when —
+   or on which shard, or in which order — it was computed. Shards can run
+   on any :class:`ProbeExecutor` (serial, thread pool, or deliberately
+   shuffled) without changing a single byte of the schedule.
+
+3. **Deterministic merge** — a serial replay walks the candidates in
+   global ``(time, seq)`` order, re-performing the probe-cache protocol
+   (lookup → should_record → store) exactly as the serial scheduler would
+   and substituting each speculative plan wherever its zero-draw purity
+   certificate holds; any probe that *did* draw is replanned against the
+   real planner RNG at its correct stream position. The merged probes then
+   feed the wrapped policy's own :meth:`decide` — for P-LMTF that is
+   :meth:`~repro.sched.plmtf.PLMTFScheduler.merge_batch`, whose batch walk
+   resolves footprint conflicts by demoting the later candidate. The
+   wrapper therefore reproduces the serial policy bit-for-bit (admissions,
+   RNG stream, cache counters, planning ops); the schedule pins enforce
+   this at shard counts 1/2/4/8.
+
+The module also provides :class:`IndexedQueue`, the Fenwick-indexed event
+queue the pipeline swaps in for its plain list: O(log n) removal and
+order-statistic indexing instead of O(n) scans, with iteration order
+identical to the list it replaces.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+from repro.core.plan import EventPlan
+from repro.network.footprint import (
+    DrawCountingRandom,
+    Footprint,
+    FootprintRecorder,
+    stable_shard_key,
+)
+from repro.sched.base import (
+    QueuedEvent,
+    RoundDecision,
+    Scheduler,
+    SchedulingContext,
+)
+
+if TYPE_CHECKING:
+    from repro.sched.cache import ProbeCache, ProbeKey
+
+__all__ = [
+    "IndexedQueue",
+    "ProbeExecutor",
+    "SerialProbeExecutor",
+    "ShardInfo",
+    "ShardMap",
+    "ShardedScheduler",
+    "ShuffledProbeExecutor",
+    "SpeculativeProbe",
+    "ThreadProbeExecutor",
+    "speculative_probe",
+]
+
+
+# ------------------------------------------------------------ shard keying
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Which shard a per-shard probe context belongs to."""
+
+    index: int
+    count: int
+
+
+class ShardMap:
+    """Maps probe candidates to shard indices.
+
+    Args:
+        shards: shard count (>= 1).
+        region_of: the topology's region oracle
+            (:meth:`~repro.network.topology.base.Topology.region_of`), or
+            ``None`` to always use the hashed-endpoint fallback.
+
+    A candidate whose flow endpoints agree on a single topology region is
+    keyed ``region % shards``; candidates spanning regions (or on
+    topologies without regions) fall back to a stable CRC-32 of their
+    endpoints — never :func:`hash`, which ``PYTHONHASHSEED`` randomizes
+    across the parallel runner's worker processes.
+    """
+
+    def __init__(self, shards: int,
+                 region_of: Callable[[str], int | None] | None = None):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self._region_of = region_of
+
+    def shard_of(self, queued: QueuedEvent) -> int:
+        if self.shards == 1:
+            return 0
+        flows = queued.remaining or list(queued.event.flows)
+        if self._region_of is not None:
+            regions = set()
+            for flow in flows:
+                regions.add(self._region_of(flow.src))
+                regions.add(self._region_of(flow.dst))
+            regions.discard(None)
+            if len(regions) == 1:
+                region = next(iter(regions))
+                assert region is not None
+                return region % self.shards
+        endpoints: list[str] = []
+        for flow in flows:
+            endpoints.append(flow.src)
+            endpoints.append(flow.dst)
+        return stable_shard_key(endpoints, self.shards)
+
+    def shard_of_footprint(self, footprint: Footprint) -> int:
+        """Shard index from a recorded probe footprint (diagnostics)."""
+        return footprint.shard_key(self.shards)
+
+
+# ------------------------------------------------------ speculative probes
+
+
+@dataclass
+class SpeculativeProbe:
+    """One shard-phase probe result, with its purity certificate.
+
+    ``draws == 0`` certifies the plan is a pure function of (state,
+    candidate): the cloned RNG was never consulted, so the plan is valid
+    at any planner-RNG stream position — including the position the serial
+    replay reaches it at. A probe that drew is discarded and replanned
+    serially. ``recorded`` says a footprint recorder wrapped the probe
+    (recording is read-transparent, so it never changes the plan).
+    """
+
+    plan: EventPlan
+    footprint: Footprint | None
+    draws: int
+    recorded: bool
+
+
+def speculative_probe(ctx: SchedulingContext, queued: QueuedEvent,
+                      record: bool) -> SpeculativeProbe:
+    """Plan ``queued`` against a cloned RNG, counting draws.
+
+    Safe to run out of order and concurrently with other speculative
+    probes: it only *reads* the network state and never touches the shared
+    planner RNG (the clone starts from the round's entry state and is
+    thrown away).
+    """
+    clone = random.Random()
+    clone.setstate(ctx.rng.getstate())
+    counting = DrawCountingRandom(clone)
+    event = queued.subevent(queued.remaining)
+    if record and ctx.network.supports_versions:
+        recorder = FootprintRecorder(ctx.network)
+        plan = ctx.planner.plan_event(recorder, event, counting,
+                                      commit=False)
+        footprint = None if counting.draws else recorder.footprint()
+        return SpeculativeProbe(plan=plan, footprint=footprint,
+                                draws=counting.draws, recorded=True)
+    plan = ctx.planner.plan_event(ctx.network, event, counting,
+                                  commit=False)
+    return SpeculativeProbe(plan=plan, footprint=None,
+                            draws=counting.draws, recorded=False)
+
+
+@dataclass
+class _PendingProbe:
+    """A candidate the speculative phase must plan (cache could not)."""
+
+    index: int
+    queued: QueuedEvent
+    record: bool
+    ctx: SchedulingContext
+
+
+def _probe_group(
+        group: tuple[ShardInfo, list[_PendingProbe]],
+) -> dict[int, SpeculativeProbe]:
+    """Plan one shard's pending candidates (executor work unit)."""
+    _info, items = group
+    return {item.index: speculative_probe(item.ctx, item.queued,
+                                          item.record)
+            for item in items}
+
+
+# ------------------------------------------------------------- executors
+
+
+class ProbeExecutor(abc.ABC):
+    """Runs the speculative phase's per-shard work units."""
+
+    name: str = "executor"
+
+    @abc.abstractmethod
+    def run(self, groups: list[tuple[ShardInfo, list[_PendingProbe]]],
+            ) -> dict[int, SpeculativeProbe]:
+        """Probe every group; return results keyed by candidate index."""
+
+
+class SerialProbeExecutor(ProbeExecutor):
+    """Shards probed one after another on the calling thread (default)."""
+
+    name = "serial"
+
+    def run(self, groups: list[tuple[ShardInfo, list[_PendingProbe]]],
+            ) -> dict[int, SpeculativeProbe]:
+        results: dict[int, SpeculativeProbe] = {}
+        for group in groups:
+            results.update(_probe_group(group))
+        return results
+
+
+class ThreadProbeExecutor(ProbeExecutor):
+    """One worker per shard on a persistent thread pool.
+
+    Speculative probes are read-only and RNG-isolated, so concurrent
+    execution cannot change results; on CPython the GIL serializes the
+    actual bytecode, so this backend only pays off when probing blocks
+    (e.g. a planner extension doing I/O). It exists to prove the
+    architecture: results are asserted identical to the serial backend by
+    the shuffle/property tests.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        self._max_workers = max_workers
+        self._pool = None
+
+    def run(self, groups: list[tuple[ShardInfo, list[_PendingProbe]]],
+            ) -> dict[int, SpeculativeProbe]:
+        if len(groups) <= 1:
+            return SerialProbeExecutor().run(groups)
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+            workers = self._max_workers or max(len(groups), 2)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="shard-probe")
+        results: dict[int, SpeculativeProbe] = {}
+        for part in self._pool.map(_probe_group, groups):
+            results.update(part)
+        return results
+
+
+class ShuffledProbeExecutor(ProbeExecutor):
+    """Probes all candidates in a deliberately scrambled order.
+
+    Test-only backend: byte-identical schedules under arbitrary probe
+    orderings are exactly the property that makes parallel execution
+    safe, so the pins run against this executor to prove it.
+    """
+
+    name = "shuffled"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def run(self, groups: list[tuple[ShardInfo, list[_PendingProbe]]],
+            ) -> dict[int, SpeculativeProbe]:
+        items = [item for _info, members in groups for item in members]
+        self._rng.shuffle(items)
+        return {item.index: speculative_probe(item.ctx, item.queued,
+                                              item.record)
+                for item in items}
+
+
+_EXECUTORS: dict[str, Callable[[], ProbeExecutor]] = {
+    "serial": SerialProbeExecutor,
+    "thread": ThreadProbeExecutor,
+    "shuffled": ShuffledProbeExecutor,
+}
+
+
+# ------------------------------------------------------- sharded scheduler
+
+
+class ShardedScheduler(Scheduler):
+    """Wraps a probe/decide-decomposable policy with sharded probing.
+
+    Args:
+        inner: the wrapped policy — a :class:`Scheduler` or a spec dict
+            (``{"kind": "plmtf", ...}``), so the wrapper itself is
+            spec-describable: ``{"kind": "sharded", "shards": 4,
+            "inner": {"kind": "plmtf", ...}}``.
+        shards: shard count (>= 1; 1 keeps the machinery but one group).
+        region_of: topology region oracle for the shard key; ``None``
+            falls back to hashed endpoints (jellyfish/custom graphs).
+        executor: probe backend — ``"serial"`` (default), ``"thread"``,
+            ``"shuffled"`` (test-only), or a :class:`ProbeExecutor`.
+
+    The wrapper reports the inner policy's ``name`` (metrics compare
+    policies, not deployment shapes) and exposes its probe ``cache`` so
+    pipeline-side eviction (drop/completion purges) keeps working. If the
+    inner policy does not decompose (``probe_targets() is None``), the
+    wrapper degrades to plain delegation — correct, just unsharded.
+    """
+
+    def __init__(self, inner: "Scheduler | dict", shards: int = 1,
+                 region_of: Callable[[str], int | None] | None = None,
+                 executor: "str | ProbeExecutor" = "serial"):
+        if isinstance(inner, dict):
+            from repro.sched import build_scheduler
+            inner = build_scheduler(inner)
+        if isinstance(inner, ShardedScheduler):
+            raise ValueError("nesting ShardedScheduler in itself is "
+                             "meaningless; shard the innermost policy")
+        self._inner = inner
+        self.name = inner.name
+        self._map = ShardMap(shards, region_of)
+        if isinstance(executor, str):
+            try:
+                executor = _EXECUTORS[executor]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown probe executor {executor!r}; pick one of "
+                    f"{sorted(_EXECUTORS)}") from None
+        self._executor = executor
+        self._scope_ctx: SchedulingContext | None = None
+        self._scope_targets: list[QueuedEvent] | None = None
+
+    @property
+    def inner(self) -> Scheduler:
+        return self._inner
+
+    @property
+    def shards(self) -> int:
+        return self._map.shards
+
+    @property
+    def cache(self) -> "ProbeCache | None":
+        """The inner policy's probe cache (None when it has none)."""
+        return getattr(self._inner, "cache", None)
+
+    def reset(self) -> None:
+        self._inner.reset()
+        self._scope_ctx = None
+        self._scope_targets = None
+
+    # ------------------------------------------------------------------ API
+
+    def probe_scope(self, ctx: SchedulingContext) -> Sequence[QueuedEvent]:
+        """Only the probe candidates enter PROBED under sharding.
+
+        Sampling (the inner policy's private RNG) happens here, once; the
+        targets are stashed by context identity so the subsequent
+        ``select`` on the same round reuses them instead of resampling.
+        """
+        targets = self._take_targets(ctx)
+        return ctx.queue if targets is None else targets
+
+    def probe_targets(self,
+                      ctx: SchedulingContext) -> list[QueuedEvent] | None:
+        return self._take_targets(ctx)
+
+    def select(self, ctx: SchedulingContext) -> RoundDecision:
+        if not ctx.queue:
+            return RoundDecision()
+        targets = self._take_targets(ctx)
+        if targets is None:
+            # Non-decomposable inner policy: delegate untouched.
+            return self._inner.select(ctx)
+        probes, ops = self._probe_all(ctx, targets)
+        return self._inner.decide(ctx, probes, ops)
+
+    def decide(self, ctx: SchedulingContext,
+               probes: list[tuple[QueuedEvent, EventPlan]],
+               ops: int) -> RoundDecision:
+        return self._inner.decide(ctx, probes, ops)
+
+    # ------------------------------------------------------------ internals
+
+    def _take_targets(self,
+                      ctx: SchedulingContext) -> list[QueuedEvent] | None:
+        if self._scope_ctx is ctx:
+            return self._scope_targets
+        targets = self._inner.probe_targets(ctx)
+        self._scope_ctx = ctx
+        self._scope_targets = targets
+        return targets
+
+    def _probe_all(self, ctx: SchedulingContext,
+                   targets: list[QueuedEvent],
+                   ) -> tuple[list[tuple[QueuedEvent, EventPlan]], int]:
+        """Probe ``targets``: speculate per shard, then replay serially.
+
+        The replay is the authority: it re-performs the cache protocol and
+        the planner calls in global candidate order, consuming speculative
+        results only where their zero-draw purity certificate makes them
+        provably equal to what the serial path would compute. Everything
+        observable — admissions, cache counters, RNG stream, planning
+        ops — is therefore identical to the unsharded scheduler.
+        """
+        cache = self.cache
+        pending: list[_PendingProbe] = []
+        for index, queued in enumerate(targets):
+            if cache is not None:
+                key = _probe_key(queued)
+                if cache.peek(key, ctx.network) is not None:
+                    continue  # replay will hit; no planner work needed
+                record = cache.would_record(key)
+            else:
+                record = False
+            pending.append(_PendingProbe(index=index, queued=queued,
+                                         record=record, ctx=ctx))
+        memos = self._speculate(ctx, pending)
+        probes: list[tuple[QueuedEvent, EventPlan]] = []
+        ops = 0
+        for index, queued in enumerate(targets):
+            plan = self._replay(ctx, queued, cache, memos.get(index))
+            ops += plan.planning_ops
+            probes.append((queued, plan))
+        return probes, ops
+
+    def _speculate(self, ctx: SchedulingContext,
+                   pending: list[_PendingProbe],
+                   ) -> dict[int, SpeculativeProbe]:
+        if not pending:
+            return {}
+        by_shard: dict[int, list[_PendingProbe]] = {}
+        for item in pending:
+            by_shard.setdefault(self._map.shard_of(item.queued),
+                                []).append(item)
+        groups = []
+        for shard_index in sorted(by_shard):
+            members = by_shard[shard_index]
+            info = ShardInfo(index=shard_index, count=self.shards)
+            shard_ctx = replace(ctx, queue=[m.queued for m in members],
+                                shard=info)
+            for member in members:
+                member.ctx = shard_ctx
+            groups.append((info, members))
+        return self._executor.run(groups)
+
+    def _replay(self, ctx: SchedulingContext, queued: QueuedEvent,
+                cache: "ProbeCache | None",
+                memo: SpeculativeProbe | None) -> EventPlan:
+        """One candidate of the serial replay (mirrors
+        :meth:`~repro.sched.lmtf.LMTFScheduler.probe_event` exactly)."""
+        if cache is None:
+            if memo is not None and memo.draws == 0:
+                return memo.plan
+            return Scheduler.plan_whole_event(ctx, queued)
+        key = _probe_key(queued)
+        plan = cache.lookup(key, ctx.network)
+        if plan is not None:
+            return plan
+        if not cache.should_record(key):
+            if memo is not None and memo.draws == 0:
+                return memo.plan
+            return Scheduler.plan_whole_event(ctx, queued)
+        if memo is not None and memo.draws == 0 and memo.recorded:
+            plan, footprint = memo.plan, memo.footprint
+        else:
+            plan, footprint = ctx.planner.plan_event_probed(
+                ctx.network, queued.subevent(queued.remaining), ctx.rng)
+        if footprint is not None:
+            cache.store(key, ctx.network, plan, footprint)
+        else:
+            cache.note_uncacheable(key)
+        return plan
+
+    def __repr__(self) -> str:
+        return (f"<ShardedScheduler {self.name!r} shards={self.shards} "
+                f"executor={self._executor.name}>")
+
+
+def _probe_key(queued: QueuedEvent) -> "ProbeKey":
+    return (queued.event.event_id,
+            tuple(f.flow_id for f in queued.remaining))
+
+
+# ---------------------------------------------------------- indexed queue
+
+
+class IndexedQueue:
+    """Arrival-ordered queue with O(log n) removal and indexing.
+
+    A drop-in replacement for the pipeline's plain ``list[QueuedEvent]``:
+    iteration yields live entries in insertion order, ``[k]`` returns the
+    k-th live entry via Fenwick order statistics, and ``remove`` clears a
+    tombstone instead of shifting O(n) elements. Entries are keyed by
+    identity (``QueuedEvent`` is mutable, so value hashing is unsafe);
+    distinct queued events are never equal, so identity removal matches
+    ``list.remove`` semantics. Tombstones are compacted away once they
+    outnumber live entries.
+    """
+
+    __slots__ = ("_slots", "_fen", "_pos", "_live")
+
+    #: Compaction is skipped below this backing size (churn on tiny queues
+    #: would dominate).
+    _COMPACT_MIN = 64
+
+    def __init__(self, items: Iterable[QueuedEvent] = ()):
+        self._slots: list[QueuedEvent | None] = []
+        self._fen: list[int] = []
+        self._pos: dict[int, int] = {}
+        self._live = 0
+        for item in items:
+            self.append(item)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __iter__(self) -> Iterator[QueuedEvent]:
+        for entry in self._slots:
+            if entry is not None:
+                yield entry
+
+    def __contains__(self, item: object) -> bool:
+        return id(item) in self._pos
+
+    def __getitem__(self, index: "int | slice"):
+        if isinstance(index, slice):
+            return list(self)[index]
+        if index < 0:
+            index += self._live
+        if not 0 <= index < self._live:
+            raise IndexError("IndexedQueue index out of range")
+        entry = self._slots[self._select(index + 1)]
+        assert entry is not None
+        return entry
+
+    def append(self, item: QueuedEvent) -> None:
+        if id(item) in self._pos:
+            raise ValueError(f"{item!r} is already queued")
+        slot = len(self._slots)
+        self._slots.append(item)
+        self._fen_append()
+        self._pos[id(item)] = slot
+        self._live += 1
+
+    def remove(self, item: QueuedEvent) -> None:
+        slot = self._pos.pop(id(item), None)
+        if slot is None:
+            raise ValueError(f"{item!r} not in queue")
+        self._slots[slot] = None
+        self._update(slot + 1, -1)
+        self._live -= 1
+        if (len(self._slots) >= self._COMPACT_MIN
+                and self._live * 2 < len(self._slots)):
+            self._compact()
+
+    # ---------------------------------------------------- fenwick internals
+
+    def _prefix(self, i: int) -> int:
+        total = 0
+        while i > 0:
+            total += self._fen[i - 1]
+            i -= i & -i
+        return total
+
+    def _update(self, i: int, delta: int) -> None:
+        size = len(self._fen)
+        while i <= size:
+            self._fen[i - 1] += delta
+            i += i & -i
+
+    def _fen_append(self) -> None:
+        i = len(self._fen) + 1
+        lo = i - (i & -i)
+        self._fen.append(1 + self._prefix(i - 1) - self._prefix(lo))
+
+    def _select(self, k: int) -> int:
+        """0-based slot of the k-th (1-based) live entry."""
+        size = len(self._fen)
+        pos = 0
+        bit = 1 << size.bit_length()
+        rem = k
+        while bit:
+            nxt = pos + bit
+            if nxt <= size and self._fen[nxt - 1] < rem:
+                rem -= self._fen[nxt - 1]
+                pos = nxt
+            bit >>= 1
+        return pos
+
+    def _compact(self) -> None:
+        live = [entry for entry in self._slots if entry is not None]
+        self._slots = list(live)
+        self._pos = {id(entry): i for i, entry in enumerate(live)}
+        self._fen = [i & -i for i in range(1, len(live) + 1)]
+
+    def __repr__(self) -> str:
+        return (f"<IndexedQueue live={self._live} "
+                f"slots={len(self._slots)}>")

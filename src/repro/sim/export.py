@@ -56,6 +56,19 @@ _GAUGES = (
 )
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` value per the Prometheus text exposition format.
+
+    The format is line-oriented: help text is everything after the metric
+    name up to the newline, with only two escapes defined — ``\\\\`` for a
+    backslash and ``\\n`` for a line feed. Writing either character
+    verbatim (as ``render`` used to) tears the exposition: an embedded
+    newline turns the rest of the help text into an unparseable line, and
+    a lone backslash corrupts the escaped reading on re-ingestion.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 class CounterExporter:
     """Accumulates hook-driven counters; renders Prometheus text format.
 
@@ -107,13 +120,13 @@ class CounterExporter:
         lines: list[str] = []
         for name, help_text in _COUNTERS:
             metric = f"{ns}_{name}_total"
-            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# HELP {metric} {_escape_help(help_text)}")
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {self._counts[name]}")
         if self._sim is not None:
             for name, help_text, read in _GAUGES:
                 metric = f"{ns}_{name}"
-                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# HELP {metric} {_escape_help(help_text)}")
                 lines.append(f"# TYPE {metric} gauge")
                 value = read(self._sim)
                 rendered = repr(value) if isinstance(value, float) \

@@ -142,11 +142,18 @@ class PreRound(Hook):
 
 @dataclass(frozen=True, slots=True)
 class PostRound(Hook):
-    """An executing round settled; ``waiting`` are the still-queued events."""
+    """An executing round settled; ``waiting`` are the still-queued events.
+
+    ``waiting`` is ``None`` when the pipeline runs with
+    ``queue_snapshots=False`` (scale mode): the full waiting set costs
+    O(queue) per round, so deep-queue runs omit it. Subscribers that
+    charge per-wait accounting must treat ``None`` as "not reported", not
+    as "empty".
+    """
 
     now: float
     index: int
-    waiting: tuple[str, ...]
+    waiting: tuple[str, ...] | None
 
 
 @dataclass(frozen=True, slots=True)

@@ -380,6 +380,8 @@ class MetricsSubscriber:
                                  hook.cache_misses, hook.cache_invalidations)
 
     def _on_post_round(self, hook: "_hooks.PostRound") -> None:
+        if hook.waiting is None:
+            return  # scale mode: waits unreported, not empty
         for event_id in hook.waiting:
             self._collector.on_wait(event_id)
 

@@ -41,6 +41,7 @@ from repro.sched.base import (
     Scheduler,
     SchedulingContext,
 )
+from repro.sched.shard import IndexedQueue
 from repro.sim.config import SimulationConfig
 from repro.sim.hooks import (
     EventAdmitted,
@@ -119,7 +120,9 @@ class RoundPipeline:
         self._rng = rng
         self._hooks = hooks
         self._lifecycle = lifecycle
-        self._queue: list[QueuedEvent] = []
+        # Fenwick-indexed: O(log n) removal/indexing instead of list.remove's
+        # O(n) scan — iteration order is identical to the list it replaced.
+        self._queue: IndexedQueue = IndexedQueue()
         self._round_active = False
         self._round_outstanding = 0
         self._round_index = 0
@@ -171,14 +174,17 @@ class RoundPipeline:
 
     # ----------------------------------------------------- queue admission
 
-    def enqueue(self, event: UpdateEvent, origin: str = "submitted") -> None:
+    def enqueue(self, event: UpdateEvent, origin: str = "submitted",
+                kick: bool = True) -> None:
         """Admit ``event`` into the waiting queue and kick a round check.
 
         Used for both trace arrivals (``origin="submitted"``) and
         simulator-generated repair events (``origin="repair"``). The round
         check is deferred to an engine event at the current time so that
         simultaneous arrivals (a batch queued at t=0) are all visible to
-        the first scheduling decision.
+        the first scheduling decision. Bulk loaders (the scale bench)
+        pass ``kick=False`` and call :meth:`schedule_round` once after the
+        batch, avoiding one engine event per enqueued event.
         """
         record = self._lifecycle.register(event.event_id, self._engine.now,
                                           origin=origin)
@@ -190,7 +196,8 @@ class RoundPipeline:
                                       flow_count=len(event.flows),
                                       origin=origin))
         self._events_remaining += 1
-        self.schedule_round()
+        if kick:
+            self.schedule_round()
 
     def schedule_round(self) -> None:
         """Schedule a round check at the current simulated time."""
@@ -206,29 +213,43 @@ class RoundPipeline:
             return
         self._round_active = True
         ctx = self._collect()
-        decision = self._schedule(ctx)
+        scope = self._scheduler.probe_scope(ctx)
+        decision = self._schedule(ctx, scope)
         plan_time = self._timing.plan_time(decision.planning_ops)
-        if not self._admit(ctx, decision, plan_time):
+        if not self._admit(ctx, decision, plan_time, scope):
             return
         admitted, total_cost, round_end = self._execute(decision, plan_time)
         self._settle(decision, plan_time, admitted, total_cost, round_end)
         self._account()
 
     def _collect(self) -> SchedulingContext:
-        """Stage 1 — snapshot the queue into a scheduling context."""
-        return SchedulingContext(now=self._engine.now,
-                                 queue=list(self._queue),
+        """Stage 1 — snapshot the queue into a scheduling context.
+
+        With ``queue_snapshots`` off (scale mode) the context carries the
+        live indexed queue by reference instead of an O(n) list copy; no
+        stage mutates the queue between collect and admit, so schedulers
+        observe the same sequence either way.
+        """
+        queue: "list[QueuedEvent] | IndexedQueue" = self._queue
+        if self._config.queue_snapshots:
+            queue = list(self._queue)
+        return SchedulingContext(now=self._engine.now, queue=queue,
                                  planner=self._planner,
                                  network=self._network, rng=self._rng)
 
-    def _schedule(self, ctx: SchedulingContext) -> RoundDecision:
+    def _schedule(self, ctx: SchedulingContext,
+                  scope: "list[QueuedEvent] | IndexedQueue",
+                  ) -> RoundDecision:
         """Stage 2 — consult the scheduler; fall back on terminal stalls.
 
-        Every queued event moves QUEUED→PROBED for the consultation; the
-        admit stage settles each into ADMITTED or back to QUEUED.
+        Every event in the scheduler's probe scope moves QUEUED→PROBED for
+        the consultation; the admit stage settles each into ADMITTED or
+        back to QUEUED. The scope is the whole queue for classic policies
+        and only the probe candidates under the sharded wrapper (O(α)
+        lifecycle traffic per round instead of O(queue)).
         """
         now = self._engine.now
-        for queued in ctx.queue:
+        for queued in scope:
             self._advance(queued.event.event_id, EventState.PROBED, now)
         decision = self._scheduler.select(ctx)
         if decision.empty and self.should_fallback():
@@ -236,7 +257,8 @@ class RoundPipeline:
         return decision
 
     def _admit(self, ctx: SchedulingContext, decision: RoundDecision,
-               plan_time: float) -> bool:
+               plan_time: float,
+               scope: "list[QueuedEvent] | IndexedQueue") -> bool:
         """Stage 3 — commit lifecycle moves and announce the round.
 
         Returns False when the decision is empty: the round is abandoned
@@ -246,10 +268,15 @@ class RoundPipeline:
         admitted_ids = set()
         for admission in decision.admissions:
             event_id = admission.queued.event.event_id
+            if self._lifecycle.state(event_id) is EventState.QUEUED:
+                # The stall fallback may admit an event outside the probe
+                # scope (narrowed scopes only); route it through PROBED so
+                # the lifecycle assertion holds.
+                self._advance(event_id, EventState.PROBED, now)
             decision.transitions.append(
                 self._advance(event_id, EventState.ADMITTED, now))
             admitted_ids.add(event_id)
-        for queued in ctx.queue:
+        for queued in scope:
             event_id = queued.event.event_id
             if event_id not in admitted_ids:
                 self._advance(event_id, EventState.QUEUED, now)
@@ -278,7 +305,7 @@ class RoundPipeline:
                             total_cost=0.0)
             self._hooks.emit(PostRound(
                 now=now, index=self._round_index,
-                waiting=tuple(q.event.event_id for q in self._queue)))
+                waiting=self._waiting_snapshot()))
             self._round_active = False
             self._check_deadlock()
             return False
@@ -367,7 +394,7 @@ class RoundPipeline:
                         total_cost=total_cost)
         self._hooks.emit(PostRound(
             now=self._engine.now, index=self._round_index,
-            waiting=tuple(q.event.event_id for q in self._queue)))
+            waiting=self._waiting_snapshot()))
         if setup_barrier:
             self._engine.schedule_callback(round_end, self._end_round,
                                            tag="end-round")
@@ -394,6 +421,17 @@ class RoundPipeline:
             cache_hits=decision.cache_hits,
             cache_misses=decision.cache_misses,
             cache_invalidations=decision.cache_invalidations))
+
+    def _waiting_snapshot(self) -> tuple[str, ...] | None:
+        """PostRound's ``waiting`` payload: the queued event ids, or None.
+
+        ``queue_snapshots=False`` (scale mode) skips the O(queue) tuple —
+        the per-event ``rounds_waited`` diagnostic then stays zero, which
+        no serialized metric consumes.
+        """
+        if not self._config.queue_snapshots:
+            return None
+        return tuple(q.event.event_id for q in self._queue)
 
     def _account(self) -> None:
         """Stage 6 — verify network bookkeeping when configured."""
@@ -578,13 +616,20 @@ class RoundPipeline:
         (deferral count, done-queueing membership; the outstanding-flow
         count removes itself when it hits zero) — otherwise every event
         ever processed leaves a dict entry behind, which an unbounded
-        service-mode run turns into a leak.
+        service-mode run turns into a leak. The probe cache is purged
+        here exactly as on drop: a completed event's keys can never hit
+        again (its id has left the queue for good), yet before this purge
+        they lingered until LRU eviction — on long service runs the cache
+        was effectively ``maxsize`` stale entries slowing every store.
         """
         self._advance(event_id, EventState.COMPLETED, time)
         self._hooks.emit(EventCompleted(now=time, event_id=event_id))
         self._events_remaining -= 1
         self._event_done_queueing.discard(event_id)
         self._deferral_counts.pop(event_id, None)
+        cache = getattr(self._scheduler, "cache", None)
+        if cache is not None:
+            cache.forget_event(event_id)
 
     # -------------------------------------------------------------- helpers
 

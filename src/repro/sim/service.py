@@ -150,6 +150,23 @@ class SimulationService:
         self._sim = sim
         self._stream = stream
         self._config = config or ServiceConfig()
+        # Re-assert the watermark ordering defensively: ServiceConfig
+        # validates it in __post_init__, but the service accepts any
+        # duck-typed config object (tests stub them), and with
+        # resume_depth >= queue_cap the backpressure hysteresis collapses:
+        # every settled round releases the held arrival while the queue
+        # still sits at the cap, so the service thrashes pause→resume on
+        # every round, the cap stops bounding the queue, and each held
+        # arrival is re-timestamped — an ingest livelock where pause
+        # bookkeeping grows without the queue ever draining below the cap.
+        if self._config.queue_cap < 1:
+            raise ValueError(
+                f"queue_cap must be >= 1, got {self._config.queue_cap}")
+        if not 0 <= self._config.resume_depth < self._config.queue_cap:
+            raise ValueError(
+                f"need 0 <= resume_depth < queue_cap, got "
+                f"resume_depth={self._config.resume_depth} with "
+                f"queue_cap={self._config.queue_cap}")
         self._exporter = CounterExporter()
         sim.attach(self._exporter)
         if self._config.stats_every:

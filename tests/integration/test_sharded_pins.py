@@ -1,0 +1,62 @@
+"""Sharded runs against the pinned schedule hashes.
+
+The acceptance bar for the sharded admission pipeline: wrapping every
+scheduler in :class:`~repro.sched.shard.ShardedScheduler` — at any shard
+count, with or without the lifecycle auditor — must reproduce the exact
+bytes of the *unsharded* pinned schedules in
+:mod:`tests.integration.test_schedule_pins`. Sharding is a deployment
+shape, not a policy: if a digest here drifts from the serial pin, the
+speculative probe / deterministic merge broke byte-identity somewhere.
+
+The shuffled-executor cases go further: they probe candidates in a
+deliberately scrambled order and still must hit the serial pin — the
+property that makes running shards concurrently safe at all.
+"""
+
+import pytest
+
+from repro.experiments import fig5, fig6
+
+from .test_schedule_pins import (
+    FIG5_MINI_SHA256,
+    FIG6_MINI_SHA256,
+    _pinned_digest,
+)
+
+
+@pytest.fixture(params=["plain", "audited"])
+def audit_mode(request, monkeypatch):
+    if request.param == "audited":
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+    else:
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+    return request.param
+
+
+class TestShardedPins:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_fig5_mini_sharded_is_byte_identical(self, shards):
+        digest = _pinned_digest(
+            lambda: fig5.run(seed=0, utilization=0.6, event_counts=(6,),
+                             shards=shards))
+        assert digest == FIG5_MINI_SHA256, (
+            f"fig5 mini-run diverged from the serial pin at "
+            f"shards={shards}: {digest}")
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_fig6_mini_sharded_is_byte_identical(self, shards):
+        digest = _pinned_digest(
+            lambda: fig6.run(seed=0, utilization=0.6, event_counts=(6,),
+                             shards=shards))
+        assert digest == FIG6_MINI_SHA256, (
+            f"fig6 mini-run diverged from the serial pin at "
+            f"shards={shards}: {digest}")
+
+    def test_fig6_sharded_audited_is_byte_identical(self, audit_mode):
+        # the auditor's ledger must also hold on sharded runs — any
+        # lifecycle drift raises AuditError before the hash compares
+        digest = _pinned_digest(
+            lambda: fig6.run(seed=0, utilization=0.6, event_counts=(6,),
+                             shards=4))
+        assert digest == FIG6_MINI_SHA256, (
+            f"fig6 sharded mini-run ({audit_mode}) diverged: {digest}")

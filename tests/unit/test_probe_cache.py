@@ -495,3 +495,27 @@ def test_full_simulation_identical_with_and_without_cache(fattree_workload,
     assert _comparable(cached) == _comparable(uncached)
     assert uncached.probe_cache_hits == 0
     assert cached.probe_cache_hits + cached.probe_cache_misses > 0
+
+
+def test_completed_events_purged_from_cache(fattree_workload):
+    """Completion must purge an event's probe-cache keys, like drop does.
+
+    A completed event's id has left the queue for good, so its keys can
+    never hit again; before the purge they lingered until LRU eviction,
+    leaving the cache full of dead entries on long service runs.
+    """
+    _topo, provider, network, events = fattree_workload
+    scheduler = LMTFScheduler(alpha=4, seed=0, probe_cache=True)
+    sim = UpdateSimulator(network.copy(), provider, scheduler,
+                          timing=TimingModel(),
+                          config=SimulationConfig(verify_invariants=True))
+    sim.submit(events)
+    metrics = sim.run()
+    assert metrics.event_count == len(events)
+    cache = scheduler.cache
+    assert cache.totals.probes > 0  # the cache actually engaged
+    completed = {event.event_id for event in events}
+    live_keys = [key for key in cache._entries if key[0] in completed]
+    live_skips = [key for key in cache._skip if key[0] in completed]
+    assert live_keys == [] and live_skips == []
+    assert len(cache) == 0  # every event completed, so nothing remains

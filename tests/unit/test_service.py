@@ -92,6 +92,32 @@ class TestServiceConfig:
         with pytest.raises(ValueError, match="audit_every"):
             ServiceConfig(audit_every=0)
 
+    def test_service_revalidates_duck_typed_watermarks(self):
+        """Equal watermarks must be rejected at service construction.
+
+        ``ServiceConfig.__post_init__`` validates the pair, but the
+        service accepts any config-shaped object; with
+        ``resume_depth == queue_cap`` the backpressure hysteresis
+        collapses (every round releases the held arrival while the
+        queue still sits at the cap), so the service itself must
+        re-assert the ordering instead of trusting the object's type.
+        """
+        def smuggled(**overrides):
+            config = ServiceConfig()
+            for name, value in overrides.items():
+                object.__setattr__(config, name, value)
+            return config
+
+        equal = smuggled(queue_cap=8, resume_depth=8)
+        with pytest.raises(ValueError, match="resume_depth"):
+            SimulationService(build_sim(), diamond_stream(), equal)
+        inverted = smuggled(queue_cap=8, resume_depth=9)
+        with pytest.raises(ValueError, match="resume_depth"):
+            SimulationService(build_sim(), diamond_stream(), inverted)
+        zero_cap = smuggled(queue_cap=0, resume_depth=0)
+        with pytest.raises(ValueError, match="queue_cap"):
+            SimulationService(build_sim(), diamond_stream(), zero_cap)
+
 
 class TestBoundedServe:
     def test_drains_bounded_stream_with_clean_audit(self):
@@ -252,6 +278,36 @@ class TestExporter:
         assert "# TYPE repro_events_arrived_total counter" in rendered
         assert "repro_events_completed_total 3" in rendered
         assert "repro_engine_pending 0" in rendered
+
+    def test_help_text_escaped_per_exposition_format(self, monkeypatch):
+        """``# HELP`` lines must escape ``\\`` and newlines, not write
+        them verbatim — a raw newline tears the line-oriented exposition
+        into an unparseable tail line."""
+        from repro.sim import export as export_mod
+
+        monkeypatch.setattr(
+            export_mod, "_COUNTERS",
+            (("events_arrived", "line one\nline two \\ backslash"),))
+        exporter = CounterExporter()
+        rendered = exporter.render()
+        help_lines = [line for line in rendered.splitlines()
+                      if line.startswith("# HELP")]
+        assert help_lines == [
+            "# HELP repro_events_arrived_total "
+            "line one\\nline two \\\\ backslash"]
+        # Every physical line still starts with a comment marker or the
+        # metric name: nothing leaked onto its own line.
+        for line in rendered.splitlines():
+            assert line.startswith(("# HELP", "# TYPE", "repro_"))
+
+    def test_escape_help_is_order_correct(self):
+        # Backslashes must be doubled before newline substitution, or the
+        # substituted "\n" would itself get re-escaped.
+        from repro.sim.export import _escape_help
+
+        assert _escape_help("a\\nb") == "a\\\\nb"
+        assert _escape_help("a\nb") == "a\\nb"
+        assert _escape_help("plain text.") == "plain text."
 
     def test_stats_line_every_n_rounds(self):
         sink = []
