@@ -170,3 +170,103 @@ def test_lmtf_probe_rounds_uncached(benchmark, steady_state):
     """The same rounds with the cache off — the wall-clock baseline."""
     provider, network, events = steady_state
     benchmark(lambda: _lmtf_rounds(provider, network, events, cache=False))
+
+
+# ----------------------------------------------------- learned ranking
+
+
+def _llmtf_rounds(provider, network, events, rounds=60):
+    """Confident L-LMTF rounds: only ``budget`` of α+1 candidates probed."""
+    from repro.sched.learned.scheduler import LearnedLMTFScheduler
+
+    scheduler = LearnedLMTFScheduler(alpha=4, seed=3, probe_cache=True,
+                                     budget=2, warmup=0,
+                                     error_threshold=1e9)
+    planner = EventPlanner(provider)
+    rng = random.Random(7)
+    queue = [QueuedEvent(event, seq=i) for i, event in enumerate(events)]
+    ctx = SchedulingContext(now=0.0, queue=queue, planner=planner,
+                            network=network, rng=rng)
+    decisions = [scheduler.select(ctx) for _ in range(rounds)]
+    return decisions, scheduler
+
+
+def test_llmtf_probe_rounds(benchmark, steady_state):
+    """Steady-state L-LMTF rounds (the companion to the LMTF rounds
+    above): the learned shortlist trims probe work to the budget, so the
+    per-round cost should sit well under the uncached exact baseline."""
+    provider, network, events = steady_state
+    decisions, scheduler = benchmark(
+        lambda: _llmtf_rounds(provider, network, events))
+    skipped = sum(d.probes_skipped for d in decisions)
+    benchmark.extra_info["probes_skipped"] = skipped
+    benchmark.extra_info["fallback_rounds"] = sum(
+        int(d.fallback) for d in decisions)
+    assert skipped > 0  # the budget actually trimmed the probe loop
+    assert all(d.admissions for d in decisions)
+
+
+def test_feature_extract(benchmark, loaded):
+    """One feature extraction must cost <2% of the exact cost probe it
+    stands in for — the overhead budget the learned ranking adds to the
+    serial path. Measured on the gate benchmark's workload (a 30-flow
+    event on the 70%-loaded fabric, see ``test_event_cost_probe``)."""
+    import time as _time
+
+    from repro.sched.learned.features import FeatureExtractor
+
+    topo, provider, network = loaded
+    planner = EventPlanner(provider)
+    extractor = FeatureExtractor(planner)
+    trace = BensonLikeTrace(topo.hosts(), seed=5, duration_median=1.0)
+    event = make_event(trace.flows(30))
+    queued = QueuedEvent(event, seq=0)
+    benchmark(lambda: extractor.extract(queued, network))
+
+    # Ratio measured directly (not via benchmark.stats) so the assertion
+    # also runs under --benchmark-disable in the CI smoke.
+    reps = 50
+    t0 = _time.perf_counter()
+    for _ in range(reps):
+        extractor.extract(queued, network)
+    extract_s = (_time.perf_counter() - t0) / reps
+    rng = random.Random(6)
+    reps = 20
+    t0 = _time.perf_counter()
+    for _ in range(reps):
+        planner.probe_cost(network, event, rng)
+    probe_s = (_time.perf_counter() - t0) / reps
+    ratio = extract_s / probe_s
+    benchmark.extra_info["probe_ratio"] = round(ratio, 5)
+    assert ratio < 0.02
+
+
+def test_shard_key_memoized(benchmark, steady_state):
+    """The memoized ``Footprint.shard_key`` hit path, with the fresh
+    compute cost attached for comparison (the memo makes the repeated
+    lookups the sharded prefilter performs effectively free)."""
+    import time as _time
+
+    from repro.network.footprint import Footprint
+
+    _provider, network, _events = steady_state
+    links = frozenset(network.switch_links()[:12])
+    footprint = Footprint(links=links, nodes=frozenset())
+    footprint.shard_key(4)  # warm the memo
+    benchmark(lambda: footprint.shard_key(4))
+
+    # Hit-vs-fresh comparison measured directly so it also runs under
+    # --benchmark-disable in the CI smoke.
+    reps = 2000
+    t0 = _time.perf_counter()
+    for _ in range(reps):
+        footprint.shard_key(4)
+    hit_s = (_time.perf_counter() - t0) / reps
+    reps = 200
+    t0 = _time.perf_counter()
+    for _ in range(reps):
+        Footprint(links=links, nodes=frozenset()).shard_key(4)
+    fresh_s = (_time.perf_counter() - t0) / reps
+    benchmark.extra_info["fresh_ns"] = round(fresh_s * 1e9)
+    benchmark.extra_info["hit_ns"] = round(hit_s * 1e9)
+    assert hit_s < fresh_s

@@ -93,6 +93,39 @@ def latest_baseline() -> Path:
     return candidates[-1]
 
 
+def check_learned_section(baseline_path: Path, baseline: dict) -> int:
+    """Validate the committed ``learned_bench`` acceptance claims.
+
+    Static (no re-run): the section is written by ``repro learned-bench
+    --out``; this guards against committing a snapshot whose own numbers
+    violate the BENCH_8 acceptance bar — L-LMTF at least 2x the exact
+    probe-round throughput, quality deltas within 5%, and the drift
+    fallback actually observed. Absent section is fine (older PRs).
+    """
+    section = baseline.get("learned_bench")
+    if section is None:
+        return 0
+    failures = []
+    speedup = section.get("speedup")
+    if speedup is None or speedup < 2.0:
+        failures.append(f"speedup {speedup} < 2.0x")
+    if not section.get("fallback_triggered"):
+        failures.append("adversarial drift never triggered fallback")
+    measurements = section.get("measurements", {})
+    for key, cell in measurements.items():
+        delta = cell.get("cost_delta_pct") if isinstance(cell, dict) \
+            else None
+        if key.startswith("quality/") and (delta is None or delta > 5.0):
+            failures.append(f"{key} cost delta {delta}% > 5%")
+    if failures:
+        for failure in failures:
+            print(f"FAIL ({baseline_path.name} learned_bench): {failure}")
+        return 1
+    print(f"learned_bench section of {baseline_path.name}: "
+          f"speedup {speedup}x, quality within 5%, fallback OK")
+    return 0
+
+
 def check(baseline_path: Path) -> int:
     baseline = json.loads(baseline_path.read_text())
     base = baseline["benchmarks"].get(GATE_BENCHMARK)
@@ -109,7 +142,7 @@ def check(baseline_path: Path) -> int:
         print(f"FAIL: median regressed beyond {TOLERANCE}x tolerance")
         return 1
     print("OK: within tolerance")
-    return 0
+    return check_learned_section(baseline_path, baseline)
 
 
 def main() -> int:

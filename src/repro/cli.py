@@ -10,6 +10,7 @@ Examples::
     repro report --out results/ --quick
     repro serve --stream synthetic --rate 0.5 --events 200
     repro scale-bench --depths 100000 --shards 1,4 --out BENCH_7.json
+    repro learned-bench --rounds 120 --out BENCH_8.json
     python -m repro.cli fig9 --utilization 0.7
 
 Each figure command prints the figure's series as an aligned ASCII table;
@@ -36,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("figure",
                         help="figure id (fig1..fig9, ablation-*, "
                              "robustness-*), 'list', 'report', 'serve', "
-                             "or 'scale-bench'")
+                             "'scale-bench' or 'learned-bench'")
     parser.add_argument("--seed", type=int, default=0,
                         help="master random seed (default 0)")
     parser.add_argument("--events", type=int, default=None,
@@ -204,6 +205,82 @@ def _scale_bench(argv: list[str]) -> int:
     return 0
 
 
+def build_learned_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro learned-bench",
+        description="Benchmark L-LMTF learned candidate ranking against "
+                    "exact LMTF: probe-round throughput, fig5/fig6-style "
+                    "cost parity, adversarial drift fallback, and a "
+                    "(budget x threshold) ablation grid (see "
+                    "repro.experiments.learnedbench).")
+    parser.add_argument("--budgets", default="1,2,3", metavar="B1,B2,...",
+                        help="ablation probe budgets (default 1,2,3)")
+    parser.add_argument("--thresholds", default="0.5,2.0",
+                        metavar="T1,T2,...",
+                        help="ablation confidence thresholds "
+                             "(default 0.5,2.0)")
+    parser.add_argument("--budget", type=int, default=2,
+                        help="headline probe budget (default 2)")
+    parser.add_argument("--error-threshold", type=float, default=2.0,
+                        help="headline confidence threshold (default 2.0)")
+    parser.add_argument("--alpha", type=int, default=None,
+                        help="LMTF sample size (default 4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master random seed (default 0)")
+    parser.add_argument("--events", type=int, default=24,
+                        help="queue depth of the throughput cells "
+                             "(default 24)")
+    parser.add_argument("--quality-events", type=int, default=24,
+                        help="events per quality cell (default 24)")
+    parser.add_argument("--rounds", type=int, default=120,
+                        help="timed probe rounds per throughput cell "
+                             "(default 120)")
+    parser.add_argument("--warmup-rounds", type=int, default=30,
+                        help="untimed warmup/training rounds per "
+                             "throughput cell (default 30)")
+    parser.add_argument("--no-ablation", action="store_true",
+                        help="skip the (budget x threshold) grid")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan bench cells out to N worker processes")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="JSONL cell checkpoint (enables --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse completed cells from --checkpoint")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="merge measurements into this JSON snapshot "
+                             "under the 'learned_bench' key (e.g. "
+                             "BENCH_8.json)")
+    return parser
+
+
+def _learned_bench(argv: list[str]) -> int:
+    from repro.experiments.learnedbench import (
+        merge_snapshot,
+        run_learned_bench,
+    )
+    from repro.experiments.runner import PrintProgress
+
+    args = build_learned_bench_parser().parse_args(argv)
+    budgets = tuple(int(b) for b in args.budgets.split(",") if b.strip())
+    thresholds = tuple(float(t) for t in args.thresholds.split(",")
+                       if t.strip())
+    started = time.time()
+    result = run_learned_bench(
+        budgets=budgets, thresholds=thresholds, alpha=args.alpha,
+        seed=args.seed, events=args.events, rounds=args.rounds,
+        warmup_rounds=args.warmup_rounds, budget=args.budget,
+        error_threshold=args.error_threshold,
+        quality_events=args.quality_events, ablation=not args.no_ablation,
+        jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume,
+        listener=PrintProgress())
+    print(result.to_table())
+    print(f"\n[learned-bench completed in {time.time() - started:.1f}s]")
+    if args.out is not None:
+        path = merge_snapshot(args.out, result)
+        print(f"learned_bench section merged into {path}")
+    return 0
+
+
 def _serve(argv: list[str]) -> int:
     from dataclasses import replace
 
@@ -263,6 +340,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(argv[1:])
     if argv and argv[0] == "scale-bench":
         return _scale_bench(argv[1:])
+    if argv and argv[0] == "learned-bench":
+        return _learned_bench(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
         print("available figures:")

@@ -68,6 +68,12 @@ class Footprint:
     links: frozenset[LinkId]
     nodes: frozenset[str]
     link_idx: frozenset[int] | None = field(default=None, compare=False)
+    #: shards -> shard index memo. The link-derived key is a pure function
+    #: of the immutable ``links`` set, yet costs a sort + CRC-32 per call —
+    #: and the sharded scheduler re-asks every replayed round. Excluded
+    #: from equality/repr like ``link_idx``.
+    _shard_memo: dict[int, int] = field(default_factory=dict, compare=False,
+                                        repr=False)
 
     def link_versions(self, state: NetworkState) -> dict[LinkId, int]:
         """Snapshot the current versions of every footprint link."""
@@ -92,8 +98,19 @@ class Footprint:
         string-recorded footprints of the same probe shard identically;
         the key is a stable content hash, never :func:`hash`.
         """
+        if self.links:
+            # Pure function of the frozen links set: memoize per shard
+            # count. (The idx-resolution branch below depends on ``state``
+            # and stays unmemoized — it only runs for footprints recorded
+            # with indices but no ids, which the recorder never produces.)
+            memoized = self._shard_memo.get(shards)
+            if memoized is None:
+                memoized = stable_shard_key(
+                    (f"{u}>{v}" for u, v in self.links), shards)
+                self._shard_memo[shards] = memoized
+            return memoized
         links: Iterable[LinkId] = self.links
-        if not self.links and self.link_idx is not None and state is not None:
+        if self.link_idx is not None and state is not None:
             table = state.link_table()
             if table is not None:
                 links = (table.ids[i] for i in self.link_idx)

@@ -25,6 +25,7 @@ from typing import Callable, TypeVar
 from repro.sched.base import Scheduler
 from repro.sched.fifo import FIFOScheduler
 from repro.sched.flowlevel import FlowLevelScheduler
+from repro.sched.learned import LearnedLMTFScheduler
 from repro.sched.lmtf import LMTFScheduler
 from repro.sched.oracle import OracleSJFScheduler
 from repro.sched.plmtf import PLMTFScheduler
@@ -40,6 +41,7 @@ SCHEDULER_KINDS: dict[str, type[Scheduler]] = {
     "flow-level": FlowLevelScheduler,
     "oracle-sjf": OracleSJFScheduler,
     "sharded": ShardedScheduler,
+    "learned": LearnedLMTFScheduler,
 }
 
 _S = TypeVar("_S", bound=type[Scheduler])
@@ -130,6 +132,7 @@ def standard_scheduler_specs(seed: int, alpha: int = 4) -> tuple[dict, ...]:
 
 __all__ = [
     "SCHEDULER_KINDS",
+    "LearnedLMTFScheduler",
     "Scheduler",
     "ShardedScheduler",
     "build_scheduler",

@@ -95,6 +95,14 @@ class RoundDecision:
     ``transitions`` is filled by the round pipeline, not by schedulers: it
     records the PROBED→ADMITTED lifecycle moves this decision caused (one
     per admission), timestamped at decision time.
+
+    The ``probes_skipped`` / ``prediction_*`` / ``fallback`` fields are the
+    learned-ranking telemetry (:mod:`repro.sched.learned`): how many
+    sampled candidates went unprobed under the ranking budget, how many
+    (features, actual cost) training pairs the round produced with their
+    summed pre-update absolute error (log1p-cost scale), and whether the
+    round fell back to full probing. Exact schedulers leave them at their
+    zero defaults.
     """
 
     admissions: list[Admission] = field(default_factory=list)
@@ -102,6 +110,10 @@ class RoundDecision:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    probes_skipped: int = 0
+    prediction_samples: int = 0
+    prediction_error_sum: float = 0.0
+    fallback: bool = False
     transitions: list[TransitionRecord] = field(default_factory=list)
 
     @property
@@ -148,7 +160,7 @@ class Scheduler(abc.ABC):
     def reset(self) -> None:
         """Clear any per-run internal state (round-robin pointers etc.)."""
 
-    # ----------------------------------------------- probe/decide decomposition
+    # ---------------------------------------------- probe/decide decomposition
     #
     # A policy that can name its probe candidates *before* planning them
     # decomposes select() into probe_targets() → plan each → decide().

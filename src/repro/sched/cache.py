@@ -89,6 +89,9 @@ class ProbeCache:
         self._skip: dict[ProbeKey, int] = {}
         self.totals = CacheStats()
         self._round = CacheStats()
+        #: Entries dropped by :meth:`forget_event` over the cache's life —
+        #: the completion/drop purge health signal ``repro serve`` exports.
+        self.purges = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -186,6 +189,7 @@ class ProbeCache:
             del self._entries[key]
         for key in [key for key in self._skip if key[0] == event_id]:
             del self._skip[key]
+        self.purges += len(stale)
         return len(stale)
 
     def drain_round(self) -> CacheStats:
@@ -199,6 +203,7 @@ class ProbeCache:
         self._skip.clear()
         self.totals = CacheStats()
         self._round = CacheStats()
+        self.purges = 0
 
     # ------------------------------------------------------------- internals
 

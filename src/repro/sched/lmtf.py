@@ -164,14 +164,24 @@ class LMTFScheduler(Scheduler):
 
     @staticmethod
     def pick_cheapest(plans: list[tuple[QueuedEvent, EventPlan]]):
-        """The feasible candidate with the lowest cost; earliest arrival
-        breaks ties (preserving FIFO fairness whenever costs agree)."""
+        """The feasible candidate with the lowest cost; ties break on
+        ``(arrival_time, seq)`` — earliest *arrival* first, preserving
+        FIFO fairness whenever costs agree.
+
+        ``seq`` alone is not arrival order once events re-enter the queue:
+        a deferred/repair requeue gets a fresh (high) seq while keeping its
+        original arrival time, so a seq-only tie-break would rank it behind
+        younger events despite its seniority. Making the time component
+        explicit keeps the rule identical for exact and learned schedulers
+        — equal-cost ties can never make an exact-vs-learned comparison
+        diverge on ordering policy.
+        """
         best = None
         best_key = None
         for queued, plan in plans:
             if not plan.feasible:
                 continue
-            key = (plan.cost, queued.seq)
+            key = (plan.cost, queued.arrival_time, queued.seq)
             if best_key is None or key < best_key:
                 best, best_key = (queued, plan), key
         return best

@@ -355,6 +355,13 @@ class ShardedScheduler(Scheduler):
         """The inner policy's probe cache (None when it has none)."""
         return getattr(self._inner, "cache", None)
 
+    @property
+    def extractor(self):
+        """The inner policy's feature extractor (learned schedulers only;
+        None otherwise). Exposed so the pipeline's completion/drop purge
+        reaches through the wrapper, like ``cache``."""
+        return getattr(self._inner, "extractor", None)
+
     def reset(self) -> None:
         self._inner.reset()
         self._scope_ctx = None

@@ -41,6 +41,53 @@ _COUNTERS = (
     ("faults_injected", "Link/switch failures fired mid-run."),
     ("faults_healed", "Failures that healed."),
     ("churn_ticks", "Background flow completions."),
+    # Probe-loop health (PreRound deltas; zero for schedulers without a
+    # probe cache / learned ranking).
+    ("probe_cache_hits", "Cost probes served from the probe cache."),
+    ("probe_cache_misses", "Cost probes that required a fresh plan."),
+    ("probe_cache_invalidations",
+     "Cached probes evicted on footprint version drift."),
+    ("probes_skipped",
+     "Sampled candidates never exactly probed (learned ranking budget)."),
+    ("prediction_samples",
+     "Online training pairs the learned scheduler consumed."),
+    ("fallback_rounds",
+     "Rounds the learned scheduler degraded to full probing."),
+)
+
+
+def _scheduler_of(sim: "SimulatorPort"):
+    return sim.pipeline.scheduler
+
+
+def _probe_cache_of(sim: "SimulatorPort"):
+    return getattr(_scheduler_of(sim), "cache", None)
+
+
+def _probe_cache_purges(sim: "SimulatorPort") -> int:
+    cache = _probe_cache_of(sim)
+    return getattr(cache, "purges", 0) if cache is not None else 0
+
+
+def _probe_cache_entries(sim: "SimulatorPort") -> int:
+    cache = _probe_cache_of(sim)
+    return len(cache) if cache is not None else 0
+
+
+def _prediction_error_ewma(sim: "SimulatorPort") -> float:
+    return float(getattr(_scheduler_of(sim), "prediction_error_ewma", 0.0))
+
+
+def _fallback_active(sim: "SimulatorPort") -> int:
+    return int(bool(getattr(_scheduler_of(sim), "fallback_active", False)))
+
+
+#: (counter name, help text, live reader) — monotonic values kept by the
+#: scheduler itself rather than accumulated from hook deltas.
+_LIVE_COUNTERS = (
+    ("probe_cache_purges",
+     "Probe-cache entries dropped by completion/drop purges.",
+     _probe_cache_purges),
 )
 
 #: (gauge name, help text, reader) in render order.
@@ -53,6 +100,15 @@ _GAUGES = (
      lambda sim: sim.engine.pending),
     ("sim_time_seconds", "Current simulated time.",
      lambda sim: sim.now),
+    ("probe_cache_entries", "Entries currently memoized in the probe cache.",
+     _probe_cache_entries),
+    ("prediction_error_ewma",
+     "Learned scheduler's EWMA of absolute prediction error "
+     "(log1p-cost scale; 0 for exact schedulers).",
+     _prediction_error_ewma),
+    ("prediction_fallback_active",
+     "1 while the learned scheduler would full-probe the next round.",
+     _fallback_active),
 )
 
 
@@ -93,6 +149,7 @@ class CounterExporter:
         bus.subscribe(_hooks.EventDropped, self._count("events_dropped"))
         bus.subscribe(_hooks.EventDeferred, self._count("events_deferred"))
         bus.subscribe(_hooks.PostRound, self._count("rounds"))
+        bus.subscribe(_hooks.PreRound, self._on_pre_round)
         bus.subscribe(_hooks.EventAdmitted, self._count("admissions"))
         bus.subscribe(_hooks.FlowFinished, self._count("flows_finished"))
         bus.subscribe(_hooks.ExecutionFailed, self._count("exec_failures"))
@@ -109,6 +166,15 @@ class CounterExporter:
     def _on_retried(self, hook: _hooks.ExecutionRetried) -> None:
         self._counts["exec_retries"] += hook.retries
 
+    def _on_pre_round(self, hook: _hooks.PreRound) -> None:
+        self._counts["probe_cache_hits"] += hook.cache_hits
+        self._counts["probe_cache_misses"] += hook.cache_misses
+        self._counts["probe_cache_invalidations"] += hook.cache_invalidations
+        self._counts["probes_skipped"] += hook.probes_skipped
+        self._counts["prediction_samples"] += hook.prediction_samples
+        if hook.fallback:
+            self._counts["fallback_rounds"] += 1
+
     @property
     def counters(self) -> dict[str, int]:
         """Current counter values (a copy)."""
@@ -124,6 +190,11 @@ class CounterExporter:
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {self._counts[name]}")
         if self._sim is not None:
+            for name, help_text, read_live in _LIVE_COUNTERS:
+                metric = f"{ns}_{name}_total"
+                lines.append(f"# HELP {metric} {_escape_help(help_text)}")
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {read_live(self._sim)}")
             for name, help_text, read in _GAUGES:
                 metric = f"{ns}_{name}"
                 lines.append(f"# HELP {metric} {_escape_help(help_text)}")

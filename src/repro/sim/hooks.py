@@ -127,6 +127,14 @@ class PreRound(Hook):
 
     ``admitted`` lists the *decided* admissions; execution failures may
     still turn some of them into deferrals.
+
+    The defaulted fields are the learned-ranking telemetry
+    (:mod:`repro.sched.learned`), copied from the decision:
+    ``probes_skipped`` sampled candidates went unprobed under the ranking
+    budget, ``prediction_samples`` training pairs were produced with
+    ``prediction_error_sum`` total absolute error (log1p-cost scale), and
+    ``fallback`` marks a round that degraded to full probing. Exact
+    schedulers emit the zero defaults.
     """
 
     now: float
@@ -138,6 +146,10 @@ class PreRound(Hook):
     cache_hits: int
     cache_misses: int
     cache_invalidations: int
+    probes_skipped: int = 0
+    prediction_samples: int = 0
+    prediction_error_sum: float = 0.0
+    fallback: bool = False
 
 
 @dataclass(frozen=True, slots=True)

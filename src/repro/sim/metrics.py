@@ -108,12 +108,29 @@ class RunMetrics:
     stranded_traffic: float = 0.0
     faults_injected: int = 0
     faults_healed: int = 0
+    # Learned-ranking counters (zero for exact schedulers). Probes skipped
+    # are sampled candidates never exactly planned thanks to the ranking
+    # budget; prediction error is summed absolute error on the log1p-cost
+    # scale over ``prediction_samples`` online-training pairs; fallback
+    # rounds degraded to full probing (cold start or drift).
+    probes_skipped: int = 0
+    prediction_samples: int = 0
+    prediction_error_sum: float = 0.0
+    fallback_rounds: int = 0
 
     @property
     def probe_cache_hit_rate(self) -> float:
         """Fraction of cost probes served from cache (0.0 when none ran)."""
         probes = self.probe_cache_hits + self.probe_cache_misses
         return self.probe_cache_hits / probes if probes else 0.0
+
+    @property
+    def mean_prediction_error(self) -> float:
+        """Mean absolute prediction error per training sample (log1p-cost
+        scale; 0.0 when the run produced no predictions)."""
+        if not self.prediction_samples:
+            return 0.0
+        return self.prediction_error_sum / self.prediction_samples
 
     def to_dict(self) -> dict:
         """JSON-serializable representation (tuples become lists)."""
@@ -122,6 +139,7 @@ class RunMetrics:
         for key in ("per_event_ect", "per_event_delay", "per_event_cost"):
             data[key] = list(data[key])
         data["probe_cache_hit_rate"] = self.probe_cache_hit_rate
+        data["mean_prediction_error"] = self.mean_prediction_error
         return data
 
     @classmethod
@@ -135,6 +153,7 @@ class RunMetrics:
         """
         payload = dict(data)
         payload.pop("probe_cache_hit_rate", None)  # derived property
+        payload.pop("mean_prediction_error", None)  # derived property
         for key in ("per_event_ect", "per_event_delay", "per_event_cost"):
             payload[key] = tuple(payload[key])
         return cls(**payload)
@@ -180,6 +199,10 @@ class MetricsCollector:
         self._stranded_traffic = 0.0
         self._faults_injected = 0
         self._faults_healed = 0
+        self._probes_skipped = 0
+        self._prediction_samples = 0
+        self._prediction_error_sum = 0.0
+        self._fallback_rounds = 0
 
     # --------------------------------------------------------------- record
 
@@ -192,12 +215,20 @@ class MetricsCollector:
             flow_count=flow_count)
 
     def on_round(self, plan_time: float, cache_hits: int = 0,
-                 cache_misses: int = 0, cache_invalidations: int = 0) -> None:
+                 cache_misses: int = 0, cache_invalidations: int = 0,
+                 probes_skipped: int = 0, prediction_samples: int = 0,
+                 prediction_error_sum: float = 0.0,
+                 fallback: bool = False) -> None:
         self._rounds += 1
         self._plan_time += plan_time
         self._cache_hits += cache_hits
         self._cache_misses += cache_misses
         self._cache_invalidations += cache_invalidations
+        self._probes_skipped += probes_skipped
+        self._prediction_samples += prediction_samples
+        self._prediction_error_sum += prediction_error_sum
+        if fallback:
+            self._fallback_rounds += 1
 
     def on_wait(self, event_id: str) -> None:
         self._record(event_id).rounds_waited += 1
@@ -348,6 +379,10 @@ class MetricsCollector:
             stranded_traffic=self._stranded_traffic,
             faults_injected=self._faults_injected,
             faults_healed=self._faults_healed,
+            probes_skipped=self._probes_skipped,
+            prediction_samples=self._prediction_samples,
+            prediction_error_sum=self._prediction_error_sum,
+            fallback_rounds=self._fallback_rounds,
         )
 
 
@@ -377,7 +412,9 @@ class MetricsSubscriber:
 
     def _on_pre_round(self, hook: "_hooks.PreRound") -> None:
         self._collector.on_round(hook.plan_time, hook.cache_hits,
-                                 hook.cache_misses, hook.cache_invalidations)
+                                 hook.cache_misses, hook.cache_invalidations,
+                                 hook.probes_skipped, hook.prediction_samples,
+                                 hook.prediction_error_sum, hook.fallback)
 
     def _on_post_round(self, hook: "_hooks.PostRound") -> None:
         if hook.waiting is None:

@@ -74,7 +74,9 @@ class RoundLog:
 
     The ``cache_*`` fields mirror the scheduler's probe-cache counters for
     the round (all zero for schedulers without a probe cache); benchmarks
-    use them to report per-round hit rates.
+    use them to report per-round hit rates. ``probes_skipped``/``fallback``
+    mirror the learned-ranking telemetry the same way (zero/False for
+    exact schedulers).
     """
 
     index: int
@@ -86,6 +88,8 @@ class RoundLog:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    probes_skipped: int = 0
+    fallback: bool = False
 
 
 class RoundPipeline:
@@ -139,6 +143,11 @@ class RoundPipeline:
     def rounds(self) -> list[RoundLog]:
         """Per-round diagnostic log (copy)."""
         return list(self._rounds)
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The scheduling policy this pipeline consults each round."""
+        return self._scheduler
 
     @property
     def queue_depth(self) -> int:
@@ -289,7 +298,11 @@ class RoundPipeline:
             queue_depth=len(self._queue),
             cache_hits=decision.cache_hits,
             cache_misses=decision.cache_misses,
-            cache_invalidations=decision.cache_invalidations))
+            cache_invalidations=decision.cache_invalidations,
+            probes_skipped=decision.probes_skipped,
+            prediction_samples=decision.prediction_samples,
+            prediction_error_sum=decision.prediction_error_sum,
+            fallback=decision.fallback))
         if self._round_index > self._config.max_rounds:
             raise SimulationError(
                 f"exceeded {self._config.max_rounds} scheduling rounds")
@@ -420,7 +433,9 @@ class RoundPipeline:
             planning_ops=decision.planning_ops, total_cost=total_cost,
             cache_hits=decision.cache_hits,
             cache_misses=decision.cache_misses,
-            cache_invalidations=decision.cache_invalidations))
+            cache_invalidations=decision.cache_invalidations,
+            probes_skipped=decision.probes_skipped,
+            fallback=decision.fallback))
 
     def _waiting_snapshot(self) -> tuple[str, ...] | None:
         """PostRound's ``waiting`` payload: the queued event ids, or None.
@@ -570,9 +585,7 @@ class RoundPipeline:
         # last of them finishes.)
         self._deferral_counts.pop(event_id, None)
         self._event_done_queueing.discard(event_id)
-        cache = getattr(self._scheduler, "cache", None)
-        if cache is not None:
-            cache.forget_event(event_id)
+        self._forget_scheduler_state(event_id)
 
     # ----------------------------------------------------------- completion
 
@@ -627,11 +640,26 @@ class RoundPipeline:
         self._events_remaining -= 1
         self._event_done_queueing.discard(event_id)
         self._deferral_counts.pop(event_id, None)
+        self._forget_scheduler_state(event_id)
+
+    # -------------------------------------------------------------- helpers
+
+    def _forget_scheduler_state(self, event_id: str) -> None:
+        """Purge scheduler-side memos of a terminally departed event.
+
+        Covers the probe cache and, for learned schedulers, the feature
+        memo — both key by event id, and a completed/dropped id can never
+        recur, so lingering entries would only crowd out live ones on
+        long service-mode runs. Duck-typed: schedulers without either
+        attribute (or the sharded wrapper delegating to an inner without
+        them) are no-ops.
+        """
         cache = getattr(self._scheduler, "cache", None)
         if cache is not None:
             cache.forget_event(event_id)
-
-    # -------------------------------------------------------------- helpers
+        extractor = getattr(self._scheduler, "extractor", None)
+        if extractor is not None:
+            extractor.forget_event(event_id)
 
     def _advance(self, event_id: str, to: EventState,
                  at: float) -> TransitionRecord:

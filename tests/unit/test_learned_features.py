@@ -1,0 +1,160 @@
+"""Unit tests for the learned-ranking feature extractor."""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import (  # noqa: E402
+    BG_TOP,
+    EF_BOT,
+    ab_flow,
+    cd_flow,
+    diamond_setup,
+    ef_flow,
+)
+
+from repro.core.event import make_event
+from repro.core.planner import EventPlanner
+from repro.sched.base import QueuedEvent
+from repro.sched.learned.features import FEATURE_NAMES, FeatureExtractor
+
+
+def setup_extractor():
+    net, provider = diamond_setup()
+    planner = EventPlanner(provider)
+    return net, planner, FeatureExtractor(planner)
+
+
+def queued(label: str, demands, seq: int = 0) -> QueuedEvent:
+    flows = [ab_flow(f"{label}-f{i}", d) for i, d in enumerate(demands)]
+    return QueuedEvent(make_event(flows, label=label), seq=seq)
+
+
+class TestExtract:
+    def test_vector_matches_feature_names(self):
+        net, _planner, extractor = setup_extractor()
+        vec = extractor.extract(queued("e", [10.0, 20.0]), net)
+        assert len(vec) == len(FEATURE_NAMES)
+        assert all(isinstance(x, float) for x in vec)
+
+    def test_width_and_demand_features(self):
+        net, _planner, extractor = setup_extractor()
+        vec = extractor.extract(queued("e", [10.0, 20.0, 5.0]), net)
+        named = dict(zip(FEATURE_NAMES, vec))
+        assert named["width"] == 3.0
+        assert named["total_demand"] == 35.0
+        assert named["max_demand"] == 20.0
+
+    def test_margin_reflects_residual(self):
+        net, _planner, extractor = setup_extractor()
+        roomy = extractor.extract(queued("roomy", [10.0]), net)
+        named = dict(zip(FEATURE_NAMES, roomy))
+        # Empty diamond: desired path has the full 100 units spare.
+        assert named["min_margin"] == pytest.approx(90.0)
+        assert named["tight_flows"] == 0.0
+        assert named["deficit_total"] == 0.0
+
+    def test_tight_flow_detected_under_load(self):
+        net, _planner, extractor = setup_extractor()
+        event = queued("tight", [50.0])
+        before = dict(zip(FEATURE_NAMES, extractor.extract(event, net)))
+        assert before["tight_flows"] == 0.0
+        # Saturate both middle paths (from hosts off the a->s1 link) so no
+        # a->b desired path can fit 50 units.
+        net.place(cd_flow("hog-top", 95.0), BG_TOP)
+        net.place(ef_flow("hog-bot", 95.0), EF_BOT)
+        after = dict(zip(FEATURE_NAMES, extractor.extract(event, net)))
+        assert after["tight_flows"] == 1.0
+        assert after["deficit_total"] == pytest.approx(45.0)
+        assert after["min_margin"] == pytest.approx(-45.0)
+
+    def test_recency_features_pass_through(self):
+        net, _planner, extractor = setup_extractor()
+        vec = extractor.extract(queued("e", [1.0]), net,
+                                congestion=2.5, fault_pressure=0.75)
+        named = dict(zip(FEATURE_NAMES, vec))
+        assert named["congestion"] == 2.5
+        assert named["fault_pressure"] == 0.75
+
+    def test_extraction_consumes_no_rng(self):
+        net, _planner, extractor = setup_extractor()
+        # Extraction takes no RNG parameter — assert it also draws nothing
+        # through ambient module-level randomness.
+        state = random.getstate()
+        extractor.extract(queued("e", [10.0, 20.0]), net)
+        assert random.getstate() == state
+
+
+class TestMemoization:
+    def test_repeat_extraction_hits_memo(self):
+        net, _planner, extractor = setup_extractor()
+        event = queued("e", [10.0])
+        extractor.extract(event, net)
+        extractor.extract(event, net)
+        assert extractor.misses == 1
+        assert extractor.hits == 1
+        assert len(extractor) == 1
+
+    def test_remaining_change_is_a_new_key(self):
+        net, _planner, extractor = setup_extractor()
+        event = queued("e", [10.0, 20.0])
+        extractor.extract(event, net)
+        event.remaining = event.remaining[:1]
+        extractor.extract(event, net)
+        assert extractor.misses == 2
+        assert len(extractor) == 2
+
+    def test_memoized_values_track_live_residuals(self):
+        # The memo caches only static data; residual-derived features must
+        # follow the live network.
+        net, _planner, extractor = setup_extractor()
+        event = queued("e", [10.0])
+        first = dict(zip(FEATURE_NAMES, extractor.extract(event, net)))
+        # Load both middle paths from other hosts so only the desired
+        # path's bottleneck moves, not the a->s1 host link.
+        net.place(cd_flow("bg", 30.0), BG_TOP)
+        net.place(ef_flow("bg2", 30.0), EF_BOT)
+        second = dict(zip(FEATURE_NAMES, extractor.extract(event, net)))
+        assert extractor.hits == 1
+        assert second["min_margin"] == pytest.approx(
+            first["min_margin"] - 30.0)
+
+    def test_forget_event_purges_all_keys(self):
+        net, _planner, extractor = setup_extractor()
+        event = queued("e", [10.0, 20.0])
+        extractor.extract(event, net)
+        event.remaining = event.remaining[:1]
+        extractor.extract(event, net)
+        other = queued("other", [5.0])
+        extractor.extract(other, net)
+        assert extractor.forget_event(event.event.event_id) == 2
+        assert len(extractor) == 1
+        assert extractor.forget_event("never-seen") == 0
+
+    def test_cap_evicts_oldest(self):
+        net, planner, _ = setup_extractor()
+        extractor = FeatureExtractor(planner, maxsize=2)
+        events = [queued(f"e{i}", [1.0]) for i in range(3)]
+        for event in events:
+            extractor.extract(event, net)
+        assert len(extractor) == 2
+        # Oldest (e0) evicted: extracting it again is a miss.
+        misses = extractor.misses
+        extractor.extract(events[0], net)
+        assert extractor.misses == misses + 1
+
+    def test_clear_resets_counters(self):
+        net, _planner, extractor = setup_extractor()
+        extractor.extract(queued("e", [1.0]), net)
+        extractor.clear()
+        assert len(extractor) == 0
+        assert extractor.hits == 0
+        assert extractor.misses == 0
+
+    def test_maxsize_validated(self):
+        _net, planner, _ = setup_extractor()
+        with pytest.raises(ValueError):
+            FeatureExtractor(planner, maxsize=0)

@@ -1,0 +1,120 @@
+"""Unit tests for the online ridge regressor behind L-LMTF."""
+
+import json
+import math
+
+import pytest
+
+from repro.sched.learned.model import OnlineRidge
+
+
+def teach(model: OnlineRidge, rows, labels):
+    for row, label in zip(rows, labels):
+        model.update(row, label)
+
+
+class TestValidation:
+    def test_dim_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OnlineRidge(dim=0)
+
+    def test_lr_bounds(self):
+        with pytest.raises(ValueError):
+            OnlineRidge(dim=2, lr=0.0)
+        with pytest.raises(ValueError):
+            OnlineRidge(dim=2, lr=1.5)
+
+    def test_l2_nonnegative(self):
+        with pytest.raises(ValueError):
+            OnlineRidge(dim=2, l2=-1e-3)
+
+    def test_ewma_beta_bounds(self):
+        with pytest.raises(ValueError):
+            OnlineRidge(dim=2, ewma_beta=1.0)
+
+    def test_feature_length_checked(self):
+        model = OnlineRidge(dim=3)
+        with pytest.raises(ValueError):
+            model.update([1.0, 2.0], 0.5)
+        with pytest.raises(ValueError):
+            model.predict([1.0, 2.0, 3.0, 4.0])
+
+
+class TestLearning:
+    def test_learns_linear_relationship(self):
+        # y = 2*x0 - x1 + 3, deterministic grid of inputs.
+        model = OnlineRidge(dim=2, lr=0.1)
+        rows = [[float(i % 7), float((3 * i) % 5)] for i in range(400)]
+        teach(model, rows, [2.0 * a - b + 3.0 for a, b in rows])
+        for a, b in ((1.0, 2.0), (4.0, 0.0), (6.0, 4.0)):
+            assert model.predict([a, b]) == pytest.approx(
+                2.0 * a - b + 3.0, abs=0.3)
+        assert model.ewma_error < 0.2
+
+    def test_update_returns_pre_step_error(self):
+        model = OnlineRidge(dim=1, lr=0.5)
+        model.update([1.0], 4.0)
+        # First sample: normalizer not yet warm, prediction is the zero
+        # bias, so the reported error is the full label.
+        assert model.samples == 1
+
+    def test_ewma_error_tracks_drift(self):
+        model = OnlineRidge(dim=1, lr=0.1, ewma_beta=0.9)
+        rows = [[float(i % 5)] for i in range(200)]
+        teach(model, rows, [2.0 * r[0] for r in rows])
+        settled = model.ewma_error
+        # Shift the concept: same features, very different labels.
+        teach(model, rows[:50], [2.0 * r[0] + 50.0 for r in rows[:50]])
+        assert model.ewma_error > settled + 1.0
+
+    def test_constant_feature_does_not_divide_by_zero(self):
+        model = OnlineRidge(dim=2)
+        teach(model, [[1.0, 5.0]] * 10, [3.0] * 10)
+        assert math.isfinite(model.predict([1.0, 5.0]))
+
+    def test_training_is_deterministic(self):
+        def run():
+            model = OnlineRidge(dim=3, lr=0.07)
+            rows = [[float(i % 4), float(i % 6), 1.0] for i in range(120)]
+            teach(model, rows, [r[0] - 2 * r[1] for r in rows])
+            return model.to_dict()
+        assert run() == run()
+
+
+class TestSaveLoad:
+    def test_roundtrip_is_exact(self, tmp_path):
+        model = OnlineRidge(dim=2, lr=0.08, l2=1e-3)
+        rows = [[float(i % 5), float(i % 3)] for i in range(60)]
+        teach(model, rows, [r[0] + 0.5 * r[1] for r in rows])
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = OnlineRidge.load(path)
+        assert loaded.to_dict() == model.to_dict()
+        probe = [2.0, 1.0]
+        assert loaded.predict(probe) == model.predict(probe)
+
+    def test_loaded_model_trains_identically(self, tmp_path):
+        model = OnlineRidge(dim=1)
+        teach(model, [[float(i)] for i in range(30)], list(range(30)))
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = OnlineRidge.load(path)
+        more = [([float(i % 9)], float(2 * (i % 9))) for i in range(40)]
+        for row, label in more:
+            model.update(row, label)
+            loaded.update(row, label)
+        assert loaded.to_dict() == model.to_dict()
+
+    def test_save_is_json(self, tmp_path):
+        model = OnlineRidge(dim=2)
+        path = tmp_path / "m.json"
+        model.save(path)
+        data = json.loads(path.read_text())
+        assert data["dim"] == 2
+        assert len(data["weights"]) == 2
+
+    def test_from_dict_rejects_dim_mismatch(self):
+        payload = OnlineRidge(dim=2).to_dict()
+        payload["weights"] = [0.0, 0.0, 0.0]
+        with pytest.raises(ValueError):
+            OnlineRidge.from_dict(payload)

@@ -1,0 +1,215 @@
+"""Unit tests for the L-LMTF learned-ranking scheduler."""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import ab_flow, diamond_setup  # noqa: E402
+
+from repro.core.event import make_event
+from repro.core.planner import EventPlanner
+from repro.sched import build_scheduler
+from repro.sched.base import QueuedEvent, SchedulingContext
+from repro.sched.learned.features import FEATURE_NAMES
+from repro.sched.learned.scheduler import LearnedLMTFScheduler
+from repro.sched.lmtf import LMTFScheduler
+
+
+def make_context(network, provider, events):
+    queue = [QueuedEvent(event, seq=i) for i, event in enumerate(events)]
+    return SchedulingContext(now=0.0, queue=queue,
+                             planner=EventPlanner(provider),
+                             network=network, rng=random.Random(7))
+
+
+def cheap_event(label: str, demand: float = 5.0):
+    return make_event([ab_flow(f"{label}-f", demand)], label=label)
+
+
+class TestConstruction:
+    def test_registered_spec_kind(self):
+        scheduler = build_scheduler(
+            {"kind": "learned", "alpha": 3, "seed": 2, "budget": 2})
+        assert isinstance(scheduler, LearnedLMTFScheduler)
+        assert scheduler.name == "l-lmtf"
+        assert scheduler.alpha == 3
+        assert scheduler.budget == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LearnedLMTFScheduler(budget=0)
+        with pytest.raises(ValueError):
+            LearnedLMTFScheduler(warmup=-1)
+        with pytest.raises(ValueError):
+            LearnedLMTFScheduler(error_threshold=0.0)
+
+    def test_model_path_loading(self, tmp_path):
+        donor = LearnedLMTFScheduler(warmup=0)
+        donor.model.update([1.0] * len(FEATURE_NAMES), 2.0)
+        path = tmp_path / "model.json"
+        donor.save_model(path)
+        loaded = LearnedLMTFScheduler(model_path=str(path))
+        assert loaded.model.to_dict() == donor.model.to_dict()
+
+    def test_model_path_dim_mismatch_rejected(self, tmp_path):
+        from repro.sched.learned.model import OnlineRidge
+        path = tmp_path / "bad.json"
+        OnlineRidge(dim=3).save(path)
+        with pytest.raises(ValueError):
+            LearnedLMTFScheduler(model_path=str(path))
+
+
+class TestFallback:
+    def test_cold_start_probes_everything(self):
+        net, provider = diamond_setup()
+        events = [cheap_event(f"e{i}") for i in range(8)]
+        ctx = make_context(net, provider, events)
+        scheduler = LearnedLMTFScheduler(alpha=4, seed=1, budget=2,
+                                         warmup=64)
+        assert scheduler.fallback_active
+        targets = scheduler.probe_targets(ctx)
+        assert len(targets) == 5  # alpha+1, nothing skipped
+
+        exact = LMTFScheduler(alpha=4, seed=1)
+        expected = exact.probe_targets(make_context(net, provider, events))
+        assert [t.seq for t in targets] == [t.seq for t in expected]
+
+    def test_fallback_rounds_marked_on_decision(self):
+        net, provider = diamond_setup()
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(8)])
+        scheduler = LearnedLMTFScheduler(alpha=4, seed=1, warmup=64)
+        decision = scheduler.select(ctx)
+        assert decision.fallback
+        assert decision.probes_skipped == 0
+        assert decision.prediction_samples == 5  # every probe trains
+        assert decision.prediction_error_sum >= 0.0
+
+    def test_drift_reactivates_fallback(self):
+        net, provider = diamond_setup()
+        scheduler = LearnedLMTFScheduler(alpha=2, seed=1, warmup=0,
+                                         error_threshold=0.1)
+        assert not scheduler.fallback_active  # fresh model: zero drift
+        # Wildly wrong samples push the drift tracker past the threshold.
+        for _ in range(3):
+            scheduler.model.update([1.0] * len(FEATURE_NAMES), 100.0)
+        assert scheduler.fallback_active
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(4)])
+        targets = scheduler.probe_targets(ctx)
+        assert len(targets) == 3  # full probing resumed (alpha+1)
+
+
+class TestBudget:
+    def warmed(self, alpha=4, budget=2, threshold=1e9):
+        """A scheduler whose model is trivially 'confident'."""
+        return LearnedLMTFScheduler(alpha=alpha, seed=1, budget=budget,
+                                    warmup=0, error_threshold=threshold)
+
+    def test_confident_round_probes_only_budget(self):
+        net, provider = diamond_setup()
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(10)])
+        scheduler = self.warmed(budget=2)
+        targets = scheduler.probe_targets(ctx)
+        assert len(targets) == 2
+        decision = scheduler.decide(
+            ctx, [(t, scheduler.probe_event(ctx, t)) for t in targets],
+            ops=0)
+        assert decision.probes_skipped == 3
+        assert not decision.fallback
+        assert len(decision.admissions) == 1
+
+    def test_head_always_probed(self):
+        net, provider = diamond_setup()
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(10)])
+        for budget in (1, 2, 3):
+            scheduler = self.warmed(budget=budget)
+            targets = scheduler.probe_targets(ctx)
+            assert len(targets) == budget
+            assert targets[0].seq == 0  # queue head survives every budget
+
+    def test_budget_at_or_above_candidates_disables_skipping(self):
+        net, provider = diamond_setup()
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(10)])
+        scheduler = self.warmed(budget=5)
+        assert len(scheduler.probe_targets(ctx)) == 5
+
+    def test_targets_returned_in_seq_order(self):
+        net, provider = diamond_setup()
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(12)])
+        scheduler = self.warmed(budget=3)
+        targets = scheduler.probe_targets(ctx)
+        seqs = [t.seq for t in targets]
+        assert seqs == sorted(seqs)
+
+    def test_sampling_stream_matches_exact_lmtf(self):
+        # Ranking must not perturb the sample draws: the candidate pool
+        # (pre-trim) equals exact LMTF's for the same seed, round after
+        # round.
+        net, provider = diamond_setup()
+        events = [cheap_event(f"e{i}") for i in range(20)]
+        learned = self.warmed(budget=2)
+        exact = LMTFScheduler(alpha=4, seed=1)
+        for _ in range(5):
+            lctx = make_context(net, provider, events)
+            ectx = make_context(net, provider, events)
+            learned.probe_targets(lctx)
+            expected = exact.probe_targets(ectx)
+            # The learned scheduler's next sample must continue from the
+            # same stream position; compare via the private RNG state.
+            assert (learned._sample_rng.getstate()
+                    == exact._sample_rng.getstate())
+            assert expected is not None
+
+
+class TestTrainingLoop:
+    def test_select_trains_model(self):
+        net, provider = diamond_setup()
+        scheduler = LearnedLMTFScheduler(alpha=4, seed=1, warmup=64)
+        before = scheduler.model.samples
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(8)])
+        scheduler.select(ctx)
+        assert scheduler.model.samples == before + 5
+
+    def test_completion_purges_extractor(self):
+        net, provider = diamond_setup()
+        scheduler = LearnedLMTFScheduler(alpha=4, seed=1, warmup=64)
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(3)])
+        decision = scheduler.select(ctx)
+        assert len(decision.admissions) == 1
+        admitted = decision.admissions[0].queued.event.event_id
+        extractor = scheduler.extractor
+        assert extractor is not None
+        assert all(key[0] != admitted for key in extractor._static)
+
+    def test_reset_restores_initial_model(self):
+        net, provider = diamond_setup()
+        scheduler = LearnedLMTFScheduler(alpha=4, seed=1, warmup=64)
+        initial = scheduler.model.to_dict()
+        ctx = make_context(net, provider,
+                           [cheap_event(f"e{i}") for i in range(8)])
+        scheduler.select(ctx)
+        assert scheduler.model.to_dict() != initial
+        scheduler.reset()
+        assert scheduler.model.to_dict() == initial
+
+    def test_reset_restores_pretrained_snapshot(self, tmp_path):
+        donor = LearnedLMTFScheduler(warmup=0)
+        for i in range(10):
+            donor.model.update([float(i)] * len(FEATURE_NAMES), float(i))
+        path = tmp_path / "model.json"
+        donor.save_model(path)
+        scheduler = LearnedLMTFScheduler(model_path=str(path))
+        pretrained = scheduler.model.to_dict()
+        scheduler.model.update([0.0] * len(FEATURE_NAMES), 1.0)
+        scheduler.reset()
+        assert scheduler.model.to_dict() == pretrained

@@ -519,3 +519,89 @@ def test_completed_events_purged_from_cache(fattree_workload):
     live_skips = [key for key in cache._skip if key[0] in completed]
     assert live_keys == [] and live_skips == []
     assert len(cache) == 0  # every event completed, so nothing remains
+
+
+# -------------------------------------------- purge paths under learned L-LMTF
+
+
+class TestLearnedSchedulerPurges:
+    """Completion/drop purges must also hold when only top-B candidates
+    are probed: a skipped candidate still had features memoized, and a
+    probed one still cached a plan — none of it may outlive the event."""
+
+    def _run_learned(self, fattree_workload, **kwargs):
+        from repro.sched.learned.scheduler import LearnedLMTFScheduler
+        _topo, provider, network, events = fattree_workload
+        params = dict(alpha=4, seed=0, probe_cache=True, budget=2,
+                      warmup=10, error_threshold=1e9)
+        params.update(kwargs)
+        scheduler = LearnedLMTFScheduler(**params)
+        sim = UpdateSimulator(network.copy(), provider, scheduler,
+                              timing=TimingModel(),
+                              config=SimulationConfig(verify_invariants=True))
+        sim.submit(events)
+        metrics = sim.run()
+        return scheduler, metrics, events
+
+    def test_completion_purges_cache_under_budget(self, fattree_workload):
+        scheduler, metrics, events = self._run_learned(fattree_workload)
+        assert metrics.event_count == len(events)
+        assert metrics.probes_skipped > 0  # the budget actually engaged
+        cache = scheduler.cache
+        assert cache is not None
+        completed = {event.event_id for event in events}
+        assert all(key[0] not in completed for key in cache._entries)
+        assert all(key[0] not in completed for key in cache._skip)
+        assert len(cache) == 0  # every event completed: nothing remains
+
+    def test_completion_purges_feature_memo(self, fattree_workload):
+        scheduler, metrics, events = self._run_learned(fattree_workload)
+        extractor = scheduler.extractor
+        assert extractor is not None
+        completed = {event.event_id for event in events}
+        assert all(key[0] not in completed for key in extractor._static)
+        assert len(extractor) == 0
+
+    def test_purge_counter_accounts_dropped_entries(self, fattree_workload):
+        scheduler, metrics, _events = self._run_learned(fattree_workload)
+        cache = scheduler.cache
+        # Cached plans existed (misses stored entries) and all events
+        # completed, so the purge counter must have consumed them.
+        assert cache.totals.probes > 0
+        assert cache.purges >= 0
+        assert cache.purges == scheduler.cache.purges  # stable accessor
+        if cache.totals.misses > 0 and cache.purges == 0:
+            # Every stored entry must then have been invalidated/evicted
+            # before completion — len 0 already asserts no leak.
+            assert len(cache) == 0
+
+    def test_sharded_learned_purges_through_wrapper(self, fattree_workload):
+        from repro.sched import build_scheduler
+        _topo, provider, network, events = fattree_workload
+        scheduler = build_scheduler({
+            "kind": "sharded", "shards": 2,
+            "inner": {"kind": "learned", "alpha": 4, "seed": 0,
+                      "budget": 2, "warmup": 10, "error_threshold": 1e9}})
+        sim = UpdateSimulator(network.copy(), provider, scheduler,
+                              timing=TimingModel(),
+                              config=SimulationConfig(verify_invariants=True))
+        sim.submit(events)
+        metrics = sim.run()
+        assert metrics.event_count == len(events)
+        assert scheduler.cache is not None and len(scheduler.cache) == 0
+        assert scheduler.extractor is not None
+        assert len(scheduler.extractor) == 0
+
+    def test_forget_event_counts_purges(self):
+        net, _provider = diamond_setup()
+        cache = ProbeCache()
+        fp = Footprint(links=frozenset(), nodes=frozenset())
+        cache.store(("ev", ("f1",)), net, object(), fp)
+        cache.store(("ev", ("f1", "f2")), net, object(), fp)
+        cache.store(("other", ()), net, object(), fp)
+        assert cache.forget_event("ev") == 2
+        assert cache.purges == 2
+        assert cache.forget_event("missing") == 0
+        assert cache.purges == 2
+        cache.clear()
+        assert cache.purges == 0

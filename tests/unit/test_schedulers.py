@@ -117,6 +117,77 @@ class TestLMTF:
         assert first == second
 
 
+class TestPickCheapestTieBreak:
+    """Regression: equal-cost ties order by (cost, arrival_time, seq).
+
+    ``seq`` alone is not arrival order once an event has been requeued
+    (deferral hands out a fresh, high seq while the arrival time stays
+    put). The explicit time component keeps the rule FIFO-fair — and
+    identical between exact and learned schedulers, whose comparisons
+    must never diverge on an equal-cost tie.
+    """
+
+    @staticmethod
+    def plan_for(event):
+        """A feasible zero-cost plan (no migrations) for ``event``."""
+        from repro.core.plan import EventPlan, FlowPlan
+        return EventPlan(event=event, flow_plans=tuple(
+            FlowPlan(flow=f, path=("a", "s1", "top", "s2", "b"))
+            for f in event.flows))
+
+    def test_requeued_senior_event_wins_cost_tie(self):
+        old = make_event([ab_flow("old-f", 5.0)], arrival_time=0.0,
+                         label="old")
+        young = make_event([ab_flow("young-f", 5.0)], arrival_time=4.0,
+                           label="young")
+        # The senior event was requeued after a deferral: fresh seq 17,
+        # original arrival time. A seq-only tie-break would pick "young".
+        requeued = QueuedEvent(old, seq=17)
+        younger = QueuedEvent(young, seq=2)
+        best = LMTFScheduler.pick_cheapest([
+            (younger, self.plan_for(young)),
+            (requeued, self.plan_for(old)),
+        ])
+        assert best is not None
+        assert best[0].event.label == "old"
+
+    def test_seq_breaks_same_arrival_ties(self):
+        batch = [make_event([ab_flow(f"b{i}-f", 5.0)], arrival_time=1.0,
+                            label=f"b{i}") for i in range(3)]
+        queue = [QueuedEvent(e, seq=i) for i, e in enumerate(batch)]
+        best = LMTFScheduler.pick_cheapest(
+            [(q, self.plan_for(q.event)) for q in reversed(queue)])
+        assert best is not None
+        assert best[0].seq == 0
+
+    def test_cost_still_dominates_seniority(self):
+        from repro.core.plan import EventPlan, FlowPlan, Migration
+        cheap = make_event([ab_flow("cheap-f", 5.0)], arrival_time=9.0)
+        senior = make_event([ab_flow("senior-f", 5.0)], arrival_time=0.0)
+        moved = cd_flow("moved", 7.0)
+        costly_plan = EventPlan(event=senior, flow_plans=(FlowPlan(
+            flow=senior.flows[0], path=("a", "s1", "top", "s2", "b"),
+            migrations=(Migration(flow=moved,
+                                  old_path=("c", "s1", "top", "s2", "d"),
+                                  new_path=("c", "s1", "bot", "s2", "d")),
+                        )),))
+        best = LMTFScheduler.pick_cheapest([
+            (QueuedEvent(senior, seq=0), costly_plan),
+            (QueuedEvent(cheap, seq=5), self.plan_for(cheap)),
+        ])
+        assert best is not None
+        # Seniority never overrides a strictly cheaper cost.
+        assert best[0].event.event_id == cheap.event_id
+        assert best[1].cost == 0.0
+
+    def test_infeasible_candidates_skipped(self):
+        from repro.core.plan import EventPlan
+        event = make_event([ab_flow("f", 5.0)])
+        assert LMTFScheduler.pick_cheapest([
+            (QueuedEvent(event, seq=0),
+             EventPlan(event=event, blocked=event.flows)),
+        ]) is None
+
 class TestPLMTF:
     def test_admit_mode_validation(self):
         with pytest.raises(ValueError):
