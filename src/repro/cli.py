@@ -85,8 +85,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="mean Poisson arrival rate in events/s "
                              "(default 0.5)")
     parser.add_argument("--scheduler", default="plmtf",
-                        choices=("fifo", "lmtf", "plmtf", "flow-level"),
-                        help="scheduling policy (default plmtf)")
+                        choices=("fifo", "lmtf", "plmtf", "flow-level",
+                                 "l-lmtf"),
+                        help="scheduling policy (default plmtf; l-lmtf is "
+                             "the learned candidate ranking)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="route the policy through the sharded "
+                             "admission pipeline with N shards "
+                             "(byte-identical schedules by contract)")
     parser.add_argument("--seed", type=int, default=0,
                         help="master random seed (default 0)")
     parser.add_argument("--alpha", type=int, default=4,
@@ -125,6 +131,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-deferrals", type=int, default=8,
                         help="deferral budget before an unplaceable event "
                              "is dropped (default 8)")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="enable crash recovery: write-ahead journal, "
+                             "restorable checkpoint and supervisor "
+                             "heartbeat live here (default: disabled)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue the run recorded in --state-dir "
+                             "(requires the same spec flags as the "
+                             "original run)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="discard any previous run in --state-dir "
+                             "before starting")
+    parser.add_argument("--supervise", type=int, default=None, metavar="N",
+                        help="run under the crash supervisor: restart a "
+                             "crashed or stalled service up to N times "
+                             "(requires --state-dir)")
+    parser.add_argument("--stall-timeout", type=float, default=120.0,
+                        metavar="S",
+                        help="supervisor only: kill the child if its "
+                             "heartbeat shows no round progress for S "
+                             "wall seconds (default 120)")
     return parser
 
 
@@ -281,21 +307,43 @@ def _learned_bench(argv: list[str]) -> int:
     return 0
 
 
-def _serve(argv: list[str]) -> int:
+def serve_scheduler_spec(args) -> dict:
+    """The scheduler spec dict a ``repro serve`` invocation describes.
+
+    A plain data mapping of the flags, so the fresh run, a ``--resume`` of
+    it, and the supervisor's restarts all build byte-identical schedulers.
+    """
+    if args.scheduler in ("lmtf", "plmtf"):
+        spec = {"kind": args.scheduler, "alpha": args.alpha,
+                "seed": args.seed + 9}
+    elif args.scheduler == "l-lmtf":
+        spec = {"kind": "learned", "alpha": args.alpha,
+                "seed": args.seed + 9}
+    else:
+        spec = {"kind": args.scheduler}
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+        spec = {"kind": "sharded", "shards": args.shards, "inner": spec}
+    return spec
+
+
+def build_service(args, resume: bool = False):
+    """Build the (simulator, stream, service) triple for ``repro serve``.
+
+    ``resume`` rebuilds the *identical* spec and asks the service to
+    restore the checkpoint in ``--state-dir``; everything else about the
+    construction must not depend on it.
+    """
     from dataclasses import replace
 
     from repro.experiments.common import DEFAULTS, Scenario
-    from repro.sched import make_scheduler
+    from repro.sched import build_scheduler
     from repro.sim.service import ServiceConfig, SimulationService
     from repro.traces.arrivals import make_stream
     from repro.traces.events import EventGeneratorConfig
 
-    args = build_serve_parser().parse_args(argv)
-    if args.scheduler in ("lmtf", "plmtf"):
-        scheduler = make_scheduler(args.scheduler, alpha=args.alpha,
-                                   seed=args.seed + 9)
-    else:
-        scheduler = make_scheduler(args.scheduler)
+    scheduler = build_scheduler(serve_scheduler_spec(args))
     scenario = Scenario(utilization=args.utilization, seed=args.seed,
                         defaults=replace(DEFAULTS, k=args.k))
     sim = scenario.simulator(scheduler, max_deferrals=args.max_deferrals)
@@ -312,23 +360,96 @@ def _serve(argv: list[str]) -> int:
         snapshot_every=args.snapshot_every,
         snapshot_dir=args.snapshot_dir if args.snapshot_every > 0 else None,
         stats_every=args.stats_every, audit=not args.no_audit,
-        install_signals=True)
-    service = SimulationService(sim, stream, config)
-    print(f"serving {args.stream} stream at {args.rate}/s through "
+        install_signals=True, state_dir=args.state_dir, resume=resume)
+    return scheduler, SimulationService(sim, stream, config)
+
+
+def _serve(argv: list[str]) -> int:
+    from repro.sim.snapshot import RecoveryError, discard_state
+
+    args = build_serve_parser().parse_args(argv)
+    if args.resume and args.state_dir is None:
+        print("--resume needs --state-dir pointing at the run to continue",
+              file=sys.stderr)
+        return 2
+    if args.fresh:
+        if args.state_dir is None:
+            print("--fresh needs --state-dir", file=sys.stderr)
+            return 2
+        if args.resume:
+            print("--fresh and --resume are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        removed = discard_state(args.state_dir)
+        if removed:
+            print(f"discarded previous run in {args.state_dir} "
+                  f"({', '.join(removed)})")
+    if args.supervise is not None:
+        return _serve_supervised(args, argv)
+    try:
+        scheduler, service = build_service(args, resume=args.resume)
+    except RecoveryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verb = "resuming" if args.resume else "serving"
+    print(f"{verb} {args.stream} stream at {args.rate}/s through "
           f"{scheduler.name} (k={args.k}, util={args.utilization}); "
           f"Ctrl-C drains gracefully")
     started = time.time()
-    report = service.serve()
+    try:
+        report = service.serve()
+    except RecoveryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"stopped ({report.stopped}): ingested={report.ingested} "
           f"completed={report.completed} dropped={report.dropped} "
           f"rounds={report.rounds} audits={report.audits} "
           f"pauses={report.backpressure_pauses} "
           f"snapshots={report.snapshots} "
+          f"restarts={report.restarts} "
+          f"digest={report.digest[:16]} "
           f"simT={report.final_time:.1f}s "
           f"wall={time.time() - started:.1f}s")
     if report.metrics is not None:
         print(report.metrics.summary())
     return 0
+
+
+def _serve_supervised(args, argv: list[str]) -> int:
+    """Run ``repro serve`` under the crash supervisor (``--supervise N``)."""
+    from repro.sim.supervise import Supervisor, SupervisorConfig
+
+    if args.state_dir is None:
+        print("--supervise needs --state-dir (the supervisor watches its "
+              "heartbeat and restarts with --resume)", file=sys.stderr)
+        return 2
+    if args.supervise < 0:
+        print(f"--supervise must be >= 0, got {args.supervise}",
+              file=sys.stderr)
+        return 2
+    supervisor = Supervisor(
+        argv=_child_argv(argv), state_dir=args.state_dir,
+        config=SupervisorConfig(max_restarts=args.supervise,
+                                stall_timeout_s=args.stall_timeout))
+    return supervisor.run()
+
+
+def _child_argv(argv: list[str]) -> list[str]:
+    """The supervised child's serve argv: drop the supervisor-only flags."""
+    child = [sys.executable, "-m", "repro.cli", "serve"]
+    skip = False
+    for arg in argv:
+        if skip:
+            skip = False
+            continue
+        if arg in ("--supervise", "--stall-timeout"):
+            skip = True
+            continue
+        if arg.startswith("--supervise=") or arg.startswith(
+                "--stall-timeout="):
+            continue
+        child.append(arg)
+    return child
 
 
 def main(argv: list[str] | None = None) -> int:

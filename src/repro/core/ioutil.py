@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 from hashlib import sha256
 from pathlib import Path
 from typing import Any
@@ -36,23 +37,70 @@ def payload_fingerprint(payload: Any, length: int = 16) -> str:
     return sha256(blob.encode("utf-8")).hexdigest()[:length]
 
 
+def rng_state_payload(rng: random.Random) -> list:
+    """JSON-ready encoding of a ``random.Random`` state.
+
+    ``getstate()`` returns ``(version, tuple_of_ints, gauss_next)``; JSON
+    has no tuples, so the shape is normalized to nested lists. Exact
+    round-trip: ints are ints and ``gauss_next`` (a float or None) survives
+    JSON's repr-based float encoding bit-for-bit.
+    """
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def set_rng_state(rng: random.Random, payload: list) -> None:
+    """Restore a ``random.Random`` from :func:`rng_state_payload` output."""
+    version, internal, gauss_next = payload
+    rng.setstate((version, tuple(internal), gauss_next))
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed/created entry survives a crash.
+
+    ``os.replace`` makes the rename atomic but not durable: until the
+    directory inode itself is flushed, a power loss can roll the directory
+    back to a state without the new name. Platforms whose directories cannot
+    be opened (or fsynced) are tolerated silently — the rename is still
+    atomic there, just not crash-durable.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path: str | Path, text: str,
                       encoding: str = "utf-8") -> None:
-    """Write ``text`` to ``path`` atomically.
+    """Write ``text`` to ``path`` atomically and durably.
 
     The content goes to a temporary sibling file (same directory, so the
     final ``os.replace`` stays on one filesystem), is flushed and fsynced,
-    and then renamed over the target. Readers concurrent with the write see
-    the old content until the rename lands.
+    and then renamed over the target; the parent directory is fsynced after
+    the rename so a crash immediately afterwards cannot lose the entry.
+    Readers concurrent with the write see the old content until the rename
+    lands.
     """
     target = Path(path)
     tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    renamed = False
     try:
         with open(tmp, "w", encoding=encoding) as handle:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, target)
+        renamed = True
+        fsync_dir(target.parent)
     finally:
-        if tmp.exists():
+        # Only the failure path may unlink: after a successful rename the
+        # tmp name is gone, and a third party recreating it (or a racing
+        # writer) must not have its file swept by our cleanup.
+        if not renamed:
             tmp.unlink(missing_ok=True)

@@ -448,6 +448,60 @@ class Network(NetworkState):
                     f"switch {node} rule table over budget: "
                     f"{self._rules_used_col[ni]} > {self._rule_cap_col[ni]}")
 
+    # -------------------------------------------------------- checkpointing
+
+    def export_state(self) -> dict:
+        """JSON-ready encoding of the mutable network state.
+
+        The topology graph and link table are rebuildable from the scenario
+        spec, so only the state columns and the flow table are exported.
+        The float columns are carried verbatim (not re-derived from the
+        placements) because the original values embed this run's exact
+        addition/subtraction history — re-summing demands in a different
+        order rounds differently, and residual comparisons sit on those
+        last bits.
+        """
+        placements = [
+            {"flow": p.flow.to_payload(), "path": list(p.path)}
+            for p in self._placements.values()]
+        return {
+            "placements": placements,
+            "cap_col": list(self._cap_col),
+            "used_col": list(self._used_col),
+            "ver_col": list(self._ver_col),
+            "rules_used_col": list(self._rules_used_col),
+            "node_ver_col": list(self._node_ver_col),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this network's mutable state from :meth:`export_state`.
+
+        Must be called on a network built from the *same* topology (same
+        link table layout); placements are rebuilt in export order and all
+        columns are overwritten bit-exactly.
+        """
+        n = len(self._table)
+        if len(state["used_col"]) != n or len(state["cap_col"]) != n:
+            raise TopologyError(
+                f"checkpointed network has {len(state['used_col'])} links, "
+                f"this topology has {n}; wrong scenario for this state")
+        self._placements.clear()
+        for col in self._flows_col:
+            col.clear()
+        index = self._table.index
+        for entry in state["placements"]:
+            flow = Flow.from_payload(entry["flow"])
+            placement = Placement(flow=flow, path=tuple(entry["path"]))
+            fid = flow.flow_id
+            for link in placement.links:
+                self._flows_col[index[link]].add(fid)
+            self._placements[fid] = placement
+        self._cap_col = array("d", state["cap_col"])
+        self._used_col = array("d", state["used_col"])
+        self._ver_col[:] = [int(v) for v in state["ver_col"]]
+        self._rules_used_col[:] = [int(v) for v in state["rules_used_col"]]
+        self._node_ver_col[:] = [int(v) for v in state["node_ver_col"]]
+
     # ----------------------------------------------------------------- copies
 
     def copy(self) -> "Network":

@@ -367,6 +367,17 @@ class ShardedScheduler(Scheduler):
         self._scope_ctx = None
         self._scope_targets = None
 
+    def export_state(self) -> dict:
+        """Delegate to the inner policy: the wrapper's own state (the
+        per-round scope memo) is transient and empty at engine-callback
+        boundaries, where checkpoints are taken."""
+        return self._inner.export_state()
+
+    def restore_state(self, state: dict) -> None:
+        self._inner.restore_state(state)
+        self._scope_ctx = None
+        self._scope_targets = None
+
     # ------------------------------------------------------------------ API
 
     def probe_scope(self, ctx: SchedulingContext) -> Sequence[QueuedEvent]:

@@ -88,13 +88,20 @@ class ChurnDriver:
     def _schedule_finish(self, sim: SimulatorPort, flow: Flow) -> None:
         sim.engine.schedule_callback(
             sim.now + flow.service_time,
-            lambda f=flow: self._on_background_finish(f),
+            lambda f=flow.flow_id: self._on_background_finish(f),
             tag=f"churn:{flow.flow_id}")
 
-    def _on_background_finish(self, flow: Flow) -> None:
+    def _on_background_finish(self, flow_id: str) -> None:
+        """A background flow's transmission ended (engine callback).
+
+        Keyed by ``flow_id`` alone so the pending callback is fully
+        described by its ``churn:<flow_id>`` engine tag — checkpoint
+        restore rebuilds the heap entry from the tag without having to
+        serialize the Flow object it closed over.
+        """
         sim = self._require_sim()
-        if sim.network.has_flow(flow.flow_id):
-            sim.network.remove(flow.flow_id)
+        if sim.network.has_flow(flow_id):
+            sim.network.remove(flow_id)
         # Churn exists to perturb queued events' costs; once every event
         # has completed, respawning would only keep the engine alive
         # forever.
@@ -104,9 +111,49 @@ class ChurnDriver:
                 and self._trace is not None):
             self._respawn_background(sim)
         sim.hooks.emit(ChurnTick(
-            now=sim.now, flow_id=flow.flow_id,
+            now=sim.now, flow_id=flow_id,
             respawned=max(0, before + 1 - self._deficit)))
         sim.maybe_round()
+
+    # -------------------------------------------------------- checkpointing
+
+    def export_state(self) -> dict:
+        """JSON-ready encoding of the driver's mutable state.
+
+        Covers the respawn deficit plus the two RNG streams respawns draw
+        from: the trace generator's own RNG (flow shapes/endpoints) and
+        the loader's path-tiebreak RNG. Pending ``churn:<flow_id>`` engine
+        entries are *not* exported here — they live in the engine heap
+        export and are re-bound via :meth:`resolve_tag`.
+        """
+        from repro.core.ioutil import rng_state_payload
+        state: dict = {"deficit": self._deficit}
+        if self._trace is not None:
+            state["trace_rng"] = rng_state_payload(self._trace.rng)
+            state["trace_serial"] = self._trace._serial
+        if self._loader is not None:
+            state["loader_rng"] = rng_state_payload(self._loader.rng)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the driver's state from :meth:`export_state` output."""
+        from repro.core.ioutil import set_rng_state
+        self._deficit = int(state["deficit"])
+        if self._trace is not None and "trace_rng" in state:
+            set_rng_state(self._trace.rng, state["trace_rng"])
+            self._trace._serial = int(state["trace_serial"])
+        if self._loader is not None and "loader_rng" in state:
+            set_rng_state(self._loader.rng, state["loader_rng"])
+
+    def resolve_tag(self, tag: str):
+        """Rebuild the engine callback a ``churn:<flow_id>`` tag denotes,
+        or None for tags the driver does not own."""
+        if not tag.startswith("churn:"):
+            return None
+        flow_id = tag[len("churn:"):]
+        if not flow_id:
+            raise SimulationError(f"malformed churn tag {tag!r}")
+        return lambda f=flow_id: self._on_background_finish(f)
 
     def _respawn_background(self, sim: SimulatorPort) -> None:
         """Replace a completed background flow, keeping utilization level.

@@ -1,0 +1,102 @@
+"""Deterministic crash-point injection for the chaos harness.
+
+The crash-recovery tests need the service to die at *exact, repeatable*
+points — mid-round, mid-snapshot, halfway through a journal append — not at
+whatever instant an external ``kill`` happens to land. Production code marks
+those points with :func:`crash_point`, which is a no-op unless the
+``REPRO_CRASH_AT`` environment variable arms it:
+
+    REPRO_CRASH_AT=<label>:<n>
+
+means "die the ``n``-th time the crash point ``label`` is reached" (1-based).
+Armed crashes default to ``SIGKILL`` against the calling process — the
+harshest possible failure, no atexit handlers, no flushes. Setting
+``REPRO_CRASH_MODE=raise`` substitutes a :class:`CrashInjected` exception so
+in-process unit tests can exercise the same sites without forking.
+
+The hit counter is process-local, so a supervised restart of the same
+command line (which inherits the environment) does not re-crash: the restart
+reaches the label with a fresh count and typically stops short of ``n`` —
+harness runs that *do* want repeat crashes lower ``n`` or re-exec with a new
+value.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+__all__ = ["CrashInjected", "crash_point", "reset_counts"]
+
+ENV_VAR = "REPRO_CRASH_AT"
+MODE_VAR = "REPRO_CRASH_MODE"
+
+#: label -> times reached in this process.
+_counts: dict[str, int] = {}
+
+
+class CrashInjected(RuntimeError):
+    """Raised instead of SIGKILL when ``REPRO_CRASH_MODE=raise``."""
+
+
+def reset_counts() -> None:
+    """Forget all hit counts (test isolation)."""
+    _counts.clear()
+
+
+def _armed() -> tuple[str, int] | None:
+    spec = os.environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    label, sep, count = spec.rpartition(":")
+    if not sep or not label:
+        raise ValueError(
+            f"malformed {ENV_VAR}={spec!r}; expected '<label>:<n>'")
+    try:
+        n = int(count)
+    except ValueError as exc:
+        raise ValueError(
+            f"malformed {ENV_VAR}={spec!r}; count must be an integer") from exc
+    if n < 1:
+        raise ValueError(f"{ENV_VAR} count must be >= 1, got {n}")
+    return label, n
+
+
+def crash_point(label: str) -> bool:
+    """Mark a crash-injection site; returns True when the crash is armed
+    for this site *and this is the fatal visit*.
+
+    In the (default) SIGKILL mode this function does not return on the
+    fatal visit. In ``raise`` mode it raises :class:`CrashInjected`. The
+    boolean return value exists for call sites that want to tear state
+    *before* dying (e.g. write half a journal frame) — they check the
+    armed-and-counting state via :func:`crash_imminent` instead.
+    """
+    armed = _armed()
+    if armed is None:
+        return False
+    target_label, target_n = armed
+    if label != target_label:
+        return False
+    _counts[label] = _counts.get(label, 0) + 1
+    if _counts[label] != target_n:
+        return False
+    _die(label)
+    return True  # only reachable in 'raise' mode after the exception is eaten
+
+
+def crash_imminent(label: str) -> bool:
+    """True when the *next* :func:`crash_point` call for ``label`` is the
+    fatal one. Lets a call site stage a realistic torn state first.
+    """
+    armed = _armed()
+    if armed is None:
+        return False
+    target_label, target_n = armed
+    return label == target_label and _counts.get(label, 0) + 1 == target_n
+
+
+def _die(label: str) -> None:
+    if os.environ.get(MODE_VAR, "").strip() == "raise":
+        raise CrashInjected(f"injected crash at {label!r}")
+    os.kill(os.getpid(), signal.SIGKILL)

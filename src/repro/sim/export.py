@@ -53,6 +53,12 @@ _COUNTERS = (
      "Online training pairs the learned scheduler consumed."),
     ("fallback_rounds",
      "Rounds the learned scheduler degraded to full probing."),
+    # Crash-recovery health (set by the service / supervisor, not by
+    # hooks; zero on runs without a state dir).
+    ("restarts", "Times this service resumed from a checkpoint."),
+    ("journal_records", "Records appended to the write-ahead journal."),
+    ("recovery_replayed_events",
+     "Journal-suffix records verified by re-execution after a restore."),
 )
 
 
@@ -179,6 +185,24 @@ class CounterExporter:
     def counters(self) -> dict[str, int]:
         """Current counter values (a copy)."""
         return dict(self._counts)
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Overwrite one declared counter (service-maintained counters
+        such as ``journal_records`` are pushed, not hook-accumulated)."""
+        if name not in self._counts:
+            raise KeyError(f"unknown counter {name!r}")
+        self._counts[name] = value
+
+    def export_state(self) -> dict[str, int]:
+        """Checkpoint the accumulated counts (crash recovery)."""
+        return dict(self._counts)
+
+    def restore_state(self, state: dict[str, int]) -> None:
+        """Restore counts from :meth:`export_state` output; counters
+        added since the checkpoint keep their zero default."""
+        for name, value in state.items():
+            if name in self._counts:
+                self._counts[name] = int(value)
 
     def render(self) -> str:
         """The Prometheus text exposition (counters, then gauges)."""

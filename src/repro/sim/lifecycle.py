@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.exceptions import SimulationError
 
@@ -180,6 +181,51 @@ class EventLifecycle:
             del history[0]
         self._transitions += 1
         return record
+
+    # -------------------------------------------------------- checkpointing
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-ready encoding of the registry for a checkpoint.
+
+        Per-event transition histories are exported only for events still
+        in a non-terminal state: histories are bounded diagnostics, and
+        carrying them for every terminal event ever seen would grow the
+        checkpoint without bound on a long-running service.
+        """
+        histories: dict[str, list[dict[str, Any]]] = {}
+        for event_id, state in self._states.items():
+            if state in TERMINAL_STATES:
+                continue
+            histories[event_id] = [
+                {"frm": r.frm.value if r.frm is not None else None,
+                 "to": r.to.value, "at": r.at}
+                for r in self._history.get(event_id, ())]
+        return {
+            "states": {eid: s.value for eid, s in self._states.items()},
+            "origins": dict(self._origins),
+            "transitions": self._transitions,
+            "histories": histories,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite this registry from :meth:`export_state` output."""
+        if self._states:
+            raise IllegalTransitionError(
+                "restore_state requires an empty lifecycle registry")
+        self._states = {eid: EventState(v)
+                        for eid, v in state["states"].items()}
+        self._origins = dict(state["origins"])
+        self._transitions = int(state["transitions"])
+        self._counts = {s: 0 for s in EventState}
+        for value in self._states.values():
+            self._counts[value] += 1
+        self._history = {
+            eid: [TransitionRecord(
+                event_id=eid,
+                frm=EventState(r["frm"]) if r["frm"] is not None else None,
+                to=EventState(r["to"]), at=r["at"])
+                for r in records]
+            for eid, records in state["histories"].items()}
 
     # -------------------------------------------------------------- queries
 

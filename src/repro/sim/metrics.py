@@ -300,6 +300,57 @@ class MetricsCollector:
         except KeyError:
             raise ValueError(f"unknown event {event_id}") from None
 
+    # -------------------------------------------------------- checkpointing
+
+    def export_state(self) -> dict:
+        """JSON-ready encoding of all records and counters."""
+        from dataclasses import asdict
+        return {
+            "records": [asdict(r) for r in self._records.values()],
+            "completed": self._completed,
+            "dropped": self._dropped,
+            "plan_time": self._plan_time,
+            "rounds": self._rounds,
+            "makespan": self._makespan,
+            "cache_hits": self._cache_hits,
+            "cache_misses": self._cache_misses,
+            "cache_invalidations": self._cache_invalidations,
+            "retries": self._retries,
+            "deferrals": self._deferrals,
+            "stranded_traffic": self._stranded_traffic,
+            "faults_injected": self._faults_injected,
+            "faults_healed": self._faults_healed,
+            "probes_skipped": self._probes_skipped,
+            "prediction_samples": self._prediction_samples,
+            "prediction_error_sum": self._prediction_error_sum,
+            "fallback_rounds": self._fallback_rounds,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this collector from :meth:`export_state` output."""
+        if self._records:
+            raise ValueError("restore_state requires an empty collector")
+        for payload in state["records"]:
+            record = EventRecord(**payload)
+            self._records[record.event_id] = record
+        self._completed = int(state["completed"])
+        self._dropped = int(state["dropped"])
+        self._plan_time = state["plan_time"]
+        self._rounds = int(state["rounds"])
+        self._makespan = state["makespan"]
+        self._cache_hits = int(state["cache_hits"])
+        self._cache_misses = int(state["cache_misses"])
+        self._cache_invalidations = int(state["cache_invalidations"])
+        self._retries = int(state["retries"])
+        self._deferrals = int(state["deferrals"])
+        self._stranded_traffic = state["stranded_traffic"]
+        self._faults_injected = int(state["faults_injected"])
+        self._faults_healed = int(state["faults_healed"])
+        self._probes_skipped = int(state["probes_skipped"])
+        self._prediction_samples = int(state["prediction_samples"])
+        self._prediction_error_sum = state["prediction_error_sum"]
+        self._fallback_rounds = int(state["fallback_rounds"])
+
     # ------------------------------------------------------------- finalize
 
     @property

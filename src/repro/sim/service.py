@@ -24,17 +24,35 @@ of the same spec.
 from __future__ import annotations
 
 import json
+import os
 import signal
+import time
+from collections import deque
 from dataclasses import dataclass, field
+from hashlib import sha256
 from pathlib import Path
 from types import FrameType
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.core.exceptions import SimulationError
-from repro.core.ioutil import atomic_write_text, payload_fingerprint
+from repro.core.ioutil import (
+    atomic_write_text,
+    payload_fingerprint,
+    set_rng_state,
+)
+from repro.sim.crashpoint import crash_point
 from repro.sim.export import CounterExporter, StatsLine
 from repro.sim.hooks import EventCompleted, EventDropped, PostRound
+from repro.sim.journal import JournalScan, JournalWriter, encode_record
 from repro.sim.metrics import RunMetrics
+from repro.sim.snapshot import (
+    CHECKPOINT_FILE,
+    HEARTBEAT_FILE,
+    JOURNAL_FILE,
+    RecoveryError,
+    build_checkpoint,
+    load_checkpoint,
+)
 
 if TYPE_CHECKING:
     from repro.core.event import UpdateEvent
@@ -42,6 +60,9 @@ if TYPE_CHECKING:
     from repro.sim.simulator import UpdateSimulator
 
 __all__ = ["ServiceConfig", "ServiceReport", "SimulationService"]
+
+#: Starting value of the chained completed-event schedule digest.
+_DIGEST_SEED = "0" * 64
 
 
 @dataclass(frozen=True)
@@ -72,6 +93,15 @@ class ServiceConfig:
         engine_step_cap: hard ceiling on engine events processed in one
             :meth:`SimulationService.serve` call — the runaway backstop
             for unbounded streams.
+        state_dir: directory for the crash-recovery state — the
+            write-ahead journal (``journal.wal``), the restorable
+            checkpoint (``checkpoint.json``) and the supervisor heartbeat
+            (``heartbeat.json``). ``None`` disables crash recovery.
+        resume: continue the run recorded in ``state_dir`` instead of
+            starting fresh. The caller must rebuild the *identical*
+            simulator and stream (same spec, same seeds); the service
+            restores the latest checkpoint and verifies re-execution
+            against the journal suffix.
     """
 
     queue_cap: int = 64
@@ -85,6 +115,8 @@ class ServiceConfig:
     audit_every: int = 1
     install_signals: bool = False
     engine_step_cap: int = 50_000_000
+    state_dir: str | Path | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_cap < 1:
@@ -97,8 +129,12 @@ class ServiceConfig:
             raise ValueError("horizon must be >= 0")
         if self.snapshot_every < 0:
             raise ValueError("snapshot_every must be >= 0")
-        if self.snapshot_every > 0 and self.snapshot_dir is None:
-            raise ValueError("snapshot_every needs a snapshot_dir")
+        if (self.snapshot_every > 0 and self.snapshot_dir is None
+                and self.state_dir is None):
+            raise ValueError("snapshot_every needs a snapshot_dir or "
+                             "state_dir")
+        if self.resume and self.state_dir is None:
+            raise ValueError("resume requires a state_dir to resume from")
         if self.stats_every < 0:
             raise ValueError("stats_every must be >= 0")
         if self.audit_every < 1:
@@ -129,6 +165,11 @@ class ServiceReport:
     final_time: float
     metrics: RunMetrics | None = None
     counters: dict[str, int] = field(default_factory=dict)
+    #: Chained SHA-256 over terminal outcomes (the schedule digest the
+    #: chaos harness compares across interrupted and uninterrupted runs).
+    digest: str = _DIGEST_SEED
+    #: Checkpoints this run resumed through (0 for an uninterrupted run).
+    restarts: int = 0
 
 
 class SimulationService:
@@ -180,14 +221,29 @@ class SimulationService:
         sim.hooks.subscribe(EventCompleted, self._on_terminal)
         sim.hooks.subscribe(EventDropped, self._on_terminal)
         self._ingested = 0
+        self._pulled = 0
         self._pauses = 0
         self._snapshots = 0
         self._held: "UpdateEvent | None" = None
+        self._pending_arrival: "UpdateEvent | None" = None
         self._arrival_handle: "EventHandle | None" = None
         self._snapshot_handle: "EventHandle | None" = None
         self._stream_done = False
         self._stopped: str | None = None
         self._served = False
+        # Crash-recovery state (inert without config.state_dir).
+        self._state_dir = (Path(self._config.state_dir)
+                           if self._config.state_dir is not None else None)
+        self._journal: JournalWriter | None = None
+        self._journal_records = 0
+        self._journal_offset = 0
+        self._digest = _DIGEST_SEED
+        self._replay: deque[bytes] = deque()
+        self._replayed = 0
+        self._restarts = 0
+        self._restored = False
+        self._resume_origin: str | None = None
+        self._stop_checkpoint_due = False
 
     # ------------------------------------------------------------- queries
 
@@ -205,6 +261,18 @@ class SimulationService:
     def exporter(self) -> CounterExporter:
         return self._exporter
 
+    @property
+    def digest(self) -> str:
+        """Chained SHA-256 over every terminal outcome so far — two runs
+        with identical digests completed/dropped the same events at the
+        same simulated times in the same order."""
+        return self._digest
+
+    @property
+    def restarts(self) -> int:
+        """Checkpoint restores this run has been through."""
+        return self._restarts
+
     # ------------------------------------------------------------- control
 
     def request_stop(self, reason: str = "signal") -> None:
@@ -221,6 +289,12 @@ class SimulationService:
         if self._arrival_handle is not None:
             self._arrival_handle.cancel()
             self._arrival_handle = None
+        self._pending_arrival = None
+        if reason == "signal" and self._state_dir is not None:
+            # Flag only — the serve loop writes the final checkpoint at
+            # the next engine-step boundary, where full state is
+            # serializable (a signal may land mid-callback).
+            self._stop_checkpoint_due = True
 
     def serve(self) -> ServiceReport:
         """Run the service until the stream ends (or a stop) and the
@@ -235,31 +309,62 @@ class SimulationService:
             raise SimulationError("service already ran; build a new one")
         self._served = True
         sim = self._sim
-        sim.start()
-        self._pull_next()
-        if self._config.snapshot_every > 0:
-            self._snapshot_handle = sim.engine.schedule_callback(
-                sim.now + self._config.snapshot_every, self._on_snapshot,
-                tag="service:snapshot")
-        previous = self._install_signals()
         try:
-            steps = 0
-            while sim.engine.step():
-                steps += 1
-                if steps >= self._config.engine_step_cap:
-                    raise SimulationError(
-                        f"service exceeded engine_step_cap="
-                        f"{self._config.engine_step_cap}; raise the cap "
-                        f"for longer soaks")
+            self._open_state()
+            if self._restored:
+                sim.mark_restored()
+            else:
+                sim.start()
+                self._pull_next()
+                if self._config.snapshot_every > 0:
+                    self._snapshot_handle = sim.engine.schedule_callback(
+                        sim.now + self._config.snapshot_every,
+                        self._on_snapshot, tag="service:snapshot")
+            self._write_heartbeat()
+            previous = self._install_signals()
+            try:
+                if self._restored and self._resume_origin == "snapshot-tick":
+                    # The checkpointing run died after the write but before
+                    # its post-snapshot continuation; running it now makes
+                    # the resumed run allocate the same engine seqs (timer
+                    # re-arm, stall round) the uninterrupted run did.
+                    self._after_snapshot()
+                steps = 0
+                while sim.engine.step():
+                    steps += 1
+                    if self._stop_checkpoint_due:
+                        # SIGTERM/SIGINT landed: persist a resumable state
+                        # before the drain proceeds, at the first
+                        # engine-step boundary after the signal.
+                        self._stop_checkpoint_due = False
+                        if self._config.snapshot_dir is not None:
+                            self._write_snapshot()
+                        self._write_checkpoint("stop")
+                    if steps >= self._config.engine_step_cap:
+                        raise SimulationError(
+                            f"service exceeded engine_step_cap="
+                            f"{self._config.engine_step_cap}; raise the cap "
+                            f"for longer soaks")
+            finally:
+                self._restore_signals(previous)
+            if self._replay:
+                raise RecoveryError(
+                    f"{len(self._replay)} journal records were never "
+                    f"re-produced by the resumed run; the journal does not "
+                    f"belong to this service spec")
+            if self._auditor is not None:
+                self._auditor.assert_drained()
+            metrics: RunMetrics | None = None
+            if (self._ingested
+                    and not sim.metrics_collector.incomplete_events()):
+                metrics = sim.metrics_collector.finalize()
+            if (self._config.snapshot_every > 0
+                    and self._config.snapshot_dir is not None):
+                self._write_snapshot(final=True)
+            self._write_checkpoint("final")
         finally:
-            self._restore_signals(previous)
-        if self._auditor is not None:
-            self._auditor.assert_drained()
-        metrics: RunMetrics | None = None
-        if self._ingested and not sim.metrics_collector.incomplete_events():
-            metrics = sim.metrics_collector.finalize()
-        if self._config.snapshot_every > 0:
-            self._write_snapshot(final=True)
+            if self._journal is not None:
+                self._journal.close()
         collector = sim.metrics_collector
         return ServiceReport(
             stopped=self._stopped or "stream",
@@ -272,7 +377,9 @@ class SimulationService:
             snapshots=self._snapshots,
             final_time=sim.now,
             metrics=metrics,
-            counters=self._exporter.counters)
+            counters=self._exporter.counters,
+            digest=self._digest,
+            restarts=self._restarts)
 
     # ----------------------------------------------------------- ingestion
 
@@ -288,6 +395,7 @@ class SimulationService:
         if event is None:
             self.request_stop("stream")
             return
+        self._pulled += 1
         if (self._config.horizon is not None
                 and event.arrival_time > self._config.horizon):
             self.request_stop("horizon")
@@ -302,26 +410,43 @@ class SimulationService:
 
     def _schedule_arrival(self, event: "UpdateEvent") -> None:
         when = max(self._sim.now, event.arrival_time)
+        self._pending_arrival = event
         self._arrival_handle = self._sim.engine.schedule_callback(
             when, lambda: self._ingest(event),
             tag=f"service:arrival:{event.event_id}")
 
     def _ingest(self, event: "UpdateEvent") -> None:
         self._arrival_handle = None
+        self._pending_arrival = None
         self._ingested += 1
+        # Write-ahead: the arrival is journaled (and fsynced) before the
+        # queue learns about it, so a crash can lose an arrival only
+        # before the rest of the pipeline ever observed it.
+        self._journal_append({"kind": "ingest", "n": self._ingested,
+                              "event": event.to_payload()})
         self._sim.enqueue(event, origin="stream")
         self._pull_next()
 
     # ------------------------------------------------------------ plumbing
 
     def _on_post_round(self, hook: PostRound) -> None:
+        crash_point("post-round")
         if (self._held is not None
                 and self._sim.pipeline.queue_depth
                 <= self._config.resume_depth):
             event, self._held = self._held, None
             self._schedule_arrival(event)
+        self._write_heartbeat(round_index=hook.index)
 
     def _on_terminal(self, hook: "EventCompleted | EventDropped") -> None:
+        kind = "complete" if isinstance(hook, EventCompleted) else "drop"
+        # Chain the digest before journaling so the journal records and
+        # the digest always agree on the outcome order.
+        self._digest = sha256(
+            (self._digest + f"{hook.event_id}:{kind}:{hook.now!r}")
+            .encode("utf-8")).hexdigest()
+        self._journal_append({"kind": kind, "event": hook.event_id,
+                              "time": hook.now})
         # Once the stream is done and the last event settled, cancel the
         # snapshot timer so the engine drains at the real end time instead
         # of idling forward to the next snapshot tick. The handle cancel
@@ -336,7 +461,17 @@ class SimulationService:
 
     def _on_snapshot(self) -> None:
         self._snapshot_handle = None
-        self._write_snapshot()
+        if self._config.snapshot_dir is not None:
+            self._write_snapshot()
+        self._write_checkpoint("snapshot-tick")
+        self._after_snapshot()
+
+    def _after_snapshot(self) -> None:
+        """The post-snapshot continuation: stall check, drain check, timer
+        re-arm. Split out of :meth:`_on_snapshot` because a resume from a
+        ``snapshot-tick`` checkpoint re-enters exactly here — the original
+        run wrote the checkpoint *before* this ran, so the restored run
+        must run it to allocate the same engine seqs."""
         if (self._sim.engine.pending == 0
                 and self._sim.pipeline.queue_depth > 0):
             # With the timer popped, nothing is pending: the queue is
@@ -385,6 +520,264 @@ class SimulationService:
         atomic_write_text(directory / "latest.json", line + "\n")
         self._exporter.write(directory / "metrics.prom")
         self._snapshots += 1
+
+    # ------------------------------------------------------ crash recovery
+
+    def _journal_append(self, record: dict[str, Any]) -> None:
+        """Durably append ``record`` — or, while a resume is replaying the
+        journal suffix, verify re-execution re-produced it exactly.
+
+        Frames are compared byte-for-byte (canonical JSON encoding), so
+        any divergence — different event, different time, different order
+        — fails immediately instead of silently forking the schedule.
+        """
+        frame = encode_record(record)
+        if self._replay:
+            expected = self._replay.popleft()
+            if frame != expected:
+                raise RecoveryError(
+                    f"recovery replay diverged from the journal: "
+                    f"re-execution produced {record!r} where the journal "
+                    f"holds {json.loads(expected[8:].decode('utf-8'))!r}; "
+                    f"the state dir was not written by this service spec")
+            self._replayed += 1
+            self._journal_records += 1
+            self._journal_offset += len(expected)
+            self._exporter.set_counter("recovery_replayed_events",
+                                       self._replayed)
+            self._exporter.set_counter("journal_records",
+                                       self._journal_records)
+            return
+        if self._journal is None:
+            return
+        self._journal.append(record)
+        self._journal_records += 1
+        self._journal_offset = self._journal.size
+        self._exporter.set_counter("journal_records", self._journal_records)
+
+    def _write_checkpoint(self, origin: str) -> None:
+        """Write the restorable full-state checkpoint (atomic replace).
+
+        Hosts the ``snapshot`` crash point: a kill here leaves the
+        *previous* checkpoint intact (the new one never replaces it), so
+        recovery restores the older state and replays a longer journal
+        suffix.
+        """
+        if self._state_dir is None or self._journal is None:
+            return
+        payload = build_checkpoint(
+            self, origin, journal_offset=self._journal_offset,
+            journal_records=self._journal_records)
+        crash_point("snapshot")
+        atomic_write_text(self._state_dir / CHECKPOINT_FILE,
+                          json.dumps(payload, sort_keys=True) + "\n")
+
+    def _service_state(self) -> dict[str, Any]:
+        """The service's own slice of the checkpoint payload."""
+        return {
+            "ingested": self._ingested,
+            "pulled": self._pulled,
+            "pauses": self._pauses,
+            "snapshots": self._snapshots,
+            "held": (self._held.to_payload()
+                     if self._held is not None else None),
+            "pending_arrival": (self._pending_arrival.to_payload()
+                                if self._pending_arrival is not None
+                                else None),
+            "stream_done": self._stream_done,
+            "stopped": self._stopped,
+            "digest": self._digest,
+            "replayed": self._replayed,
+            "restarts": self._restarts,
+        }
+
+    def _open_state(self) -> None:
+        """Open the state dir: journal, and (on resume) the checkpoint.
+
+        Raises:
+            RecoveryError: a fresh start would clobber an existing run, or
+                a resume has nothing usable to resume from.
+            JournalCorruptionError: the journal holds a complete frame
+                that fails its CRC (bit-rot or tampering — torn tails are
+                tolerated and truncated).
+        """
+        if self._state_dir is None:
+            return
+        self._state_dir.mkdir(parents=True, exist_ok=True)
+        journal_path = self._state_dir / JOURNAL_FILE
+        checkpoint_path = self._state_dir / CHECKPOINT_FILE
+        has_journal = (journal_path.exists()
+                       and journal_path.stat().st_size > 0)
+        has_checkpoint = checkpoint_path.exists()
+        if not self._config.resume and (has_journal or has_checkpoint):
+            present = CHECKPOINT_FILE if has_checkpoint else JOURNAL_FILE
+            raise RecoveryError(
+                f"state dir {self._state_dir} already holds a run "
+                f"({present} present); pass --resume to continue it or "
+                f"--fresh to discard it")
+        if self._config.resume and not (has_journal or has_checkpoint):
+            raise RecoveryError(
+                f"--resume requested but state dir {self._state_dir} "
+                f"holds no {CHECKPOINT_FILE} or {JOURNAL_FILE}; remove "
+                f"--resume to start fresh")
+        self._journal = JournalWriter(journal_path)
+        scan = self._journal.open()
+        if self._config.resume:
+            checkpoint = (load_checkpoint(checkpoint_path)
+                          if has_checkpoint else None)
+            self._restore(checkpoint, scan)
+
+    def _restore(self, checkpoint: dict[str, Any] | None,
+                 scan: JournalScan) -> None:
+        """Apply a checkpoint (or a bare journal) to the fresh simulator.
+
+        With no checkpoint — the original run died before its first tick —
+        the resume is a fresh deterministic re-run that treats the whole
+        journal as its verification suffix. With a checkpoint, every
+        component restores its serialized state, the engine heap is
+        re-bound through the tag resolver, the arrival stream skips its
+        consumed prefix, and the journal records past the checkpoint
+        become replay expectations.
+        """
+        from repro.core.event import UpdateEvent, set_event_id_state
+        from repro.core.flow import set_flow_id_state
+
+        if checkpoint is None:
+            self._replay = deque(encode_record(r) for r in scan.records)
+            self._restarts = 1
+            self._exporter.set_counter("restarts", 1)
+            return
+        sim = self._sim
+        if checkpoint["scheduler"] != sim.scheduler.name:
+            raise RecoveryError(
+                f"checkpoint was written by scheduler "
+                f"{checkpoint['scheduler']!r} but this service runs "
+                f"{sim.scheduler.name!r}; resume with the original spec")
+        prefix_count = int(checkpoint["journal"]["records"])
+        offset = int(checkpoint["journal"]["offset"])
+        if scan.valid_size < offset or len(scan.records) < prefix_count:
+            raise RecoveryError(
+                f"journal at {self._journal.path if self._journal else '?'} "
+                f"is truncated below the checkpoint (valid "
+                f"{scan.valid_size} bytes / {len(scan.records)} records, "
+                f"checkpoint expects {offset} bytes / {prefix_count} "
+                f"records); the state dir is damaged — restore it from a "
+                f"backup or start fresh with --fresh")
+        prefix_bytes = sum(len(encode_record(r))
+                           for r in scan.records[:prefix_count])
+        if prefix_bytes != offset:
+            raise RecoveryError(
+                f"journal content does not line up with the checkpoint "
+                f"({prefix_count} records span {prefix_bytes} bytes, "
+                f"checkpoint recorded {offset}); journal and checkpoint "
+                f"come from different runs — start fresh with --fresh")
+        svc = checkpoint["service"]
+        # Service bookkeeping first: the engine tag resolver needs the
+        # pending-arrival payload to re-bind its callback.
+        self._ingested = int(svc["ingested"])
+        self._pulled = int(svc["pulled"])
+        self._pauses = int(svc["pauses"])
+        self._snapshots = int(svc["snapshots"])
+        self._held = (UpdateEvent.from_payload(svc["held"])
+                      if svc["held"] is not None else None)
+        self._pending_arrival = (
+            UpdateEvent.from_payload(svc["pending_arrival"])
+            if svc["pending_arrival"] is not None else None)
+        self._stream_done = bool(svc["stream_done"])
+        self._stopped = svc["stopped"]
+        self._digest = str(svc["digest"])
+        self._replayed = int(svc["replayed"])
+        self._restarts = int(svc["restarts"]) + 1
+        self._journal_records = prefix_count
+        self._journal_offset = offset
+        self._resume_origin = str(checkpoint["origin"])
+        # Component state.
+        sim.network.restore_state(checkpoint["network"])
+        sim.lifecycle.restore_state(checkpoint["lifecycle"])
+        sim.metrics_collector.restore_state(checkpoint["metrics"])
+        sim.pipeline.restore_state(checkpoint["pipeline"])
+        if sim.churn is not None and checkpoint["churn"] is not None:
+            sim.churn.restore_state(checkpoint["churn"])
+        sim.scheduler.restore_state(checkpoint["sched"])
+        set_rng_state(sim.rng, checkpoint["sim_rng"])
+        handles = sim.engine.restore_state(checkpoint["engine"],
+                                           self._resolve_tag)
+        if self._pending_arrival is not None:
+            tag = f"service:arrival:{self._pending_arrival.event_id}"
+            self._arrival_handle = handles.get(tag)
+            if self._arrival_handle is None:
+                raise RecoveryError(
+                    f"checkpoint carries pending arrival "
+                    f"{self._pending_arrival.event_id} but the engine "
+                    f"export holds no {tag!r} entry; the checkpoint is "
+                    f"internally inconsistent")
+        self._snapshot_handle = handles.get("service:snapshot")
+        # Arrival stream: skip the consumed prefix (advancing its RNGs
+        # exactly as the original pulls did), then force the global id
+        # counters to the checkpoint values — churn respawns interleaved
+        # their own flow ids with the stream's in the original run, so
+        # the skip alone cannot realign the counters.
+        for _ in range(self._pulled):
+            if next(self._stream, None) is None:
+                break
+        set_flow_id_state(int(checkpoint["ids"]["flow"]))
+        set_event_id_state(int(checkpoint["ids"]["event"]))
+        self._exporter.restore_state(checkpoint["counters"])
+        self._exporter.set_counter("restarts", self._restarts)
+        self._replay = deque(encode_record(r)
+                             for r in scan.records[prefix_count:])
+        if self._auditor is not None:
+            self._auditor.assert_restored(scan.records[:prefix_count])
+        self._restored = True
+
+    def _resolve_tag(self, tag: str) -> Callable[[], None]:
+        """Re-bind a checkpointed engine tag to its callback.
+
+        Service tags resolve here; pipeline and churn tags delegate to
+        their owners. An unowned tag means the service was rebuilt with a
+        different plugin set than the checkpointing run (e.g. a fault
+        schedule attached) and cannot be resumed safely.
+        """
+        if tag == "service:snapshot":
+            return self._on_snapshot
+        if tag.startswith("service:arrival:"):
+            event_id = tag[len("service:arrival:"):]
+            event = self._pending_arrival
+            if event is None or event.event_id != event_id:
+                raise RecoveryError(
+                    f"engine entry {tag!r} has no matching pending arrival "
+                    f"in the checkpoint; the checkpoint is internally "
+                    f"inconsistent")
+            return lambda e=event: self._ingest(e)
+        resolved = self._sim.pipeline.resolve_tag(tag)
+        if resolved is not None:
+            return resolved
+        churn = self._sim.churn
+        if churn is not None:
+            resolved = churn.resolve_tag(tag)
+            if resolved is not None:
+                return resolved
+        raise RecoveryError(
+            f"no component owns checkpointed engine tag {tag!r}; was the "
+            f"service rebuilt with a different plugin set than the run "
+            f"that wrote the checkpoint?")
+
+    def _write_heartbeat(self, round_index: int | None = None) -> None:
+        """Refresh the supervisor's liveness/progress file.
+
+        Plain write + rename, no fsync: the heartbeat signals liveness,
+        not durability, and an fsync per settled round would tax long
+        soaks for nothing.
+        """
+        if self._state_dir is None:
+            return
+        payload = {"wall": time.time(), "pid": os.getpid(),
+                   "round": (round_index if round_index is not None
+                             else self._sim.metrics_collector.round_count),
+                   "sim_time": self._sim.now}
+        tmp = self._state_dir / f".{HEARTBEAT_FILE}.tmp"
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, self._state_dir / HEARTBEAT_FILE)
 
     # ------------------------------------------------------------- signals
 

@@ -135,12 +135,14 @@ class UpdateSimulator:
             ListenerSubscriber(listener, self._hooks)
         if faults is not None:
             self.attach(faults)
+        self._churn: "ChurnDriver | None" = None
         if churn_trace is not None or self._config.background_churn:
             # Respawned flows obey the same host-link cap as initial
             # loading; the driver's RNG is independent of the planner's.
-            self.attach(ChurnDriver(
+            self._churn = ChurnDriver(
                 network, provider, churn_trace,
-                random.Random(self._config.seed + 1)))
+                random.Random(self._config.seed + 1))
+            self.attach(self._churn)
         self._auditor: "LifecycleAuditor | None" = None
         if audit is None:
             audit = os.environ.get("REPRO_AUDIT", "0") not in ("", "0")
@@ -161,6 +163,20 @@ class UpdateSimulator:
     @property
     def engine(self) -> SimulationEngine:
         return self._engine
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def churn(self) -> "ChurnDriver | None":
+        """The attached background-churn driver, if any."""
+        return self._churn
+
+    @property
+    def rng(self) -> random.Random:
+        """The planner RNG (checkpointed for crash recovery)."""
+        return self._rng
 
     @property
     def config(self) -> SimulationConfig:
@@ -252,6 +268,19 @@ class UpdateSimulator:
         self._ran = True
         self._scheduler.reset()
         self._hooks.emit(RunStarted(self))
+
+    def mark_restored(self) -> None:
+        """Mark a checkpoint-restored streaming run as started.
+
+        Unlike :meth:`start`, this neither resets the scheduler (its
+        RNG/model state was just restored and a reset would wipe it) nor
+        emits ``RunStarted`` (plugins such as the churn driver schedule
+        their initial engine events on that hook — replaying them would
+        duplicate entries the restored engine heap already carries).
+        """
+        if self._ran:
+            raise SimulationError("simulator already ran; build a new one")
+        self._ran = True
 
     def run(self) -> RunMetrics:
         """Execute the simulation to completion and return run metrics.

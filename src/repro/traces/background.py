@@ -66,6 +66,12 @@ class BackgroundLoader:
         self._path_policy = path_policy
 
     @property
+    def rng(self) -> random.Random:
+        """The loader's path-tiebreak RNG (checkpointed by the crash-
+        recovery snapshots so respawn placement resumes exactly)."""
+        return self._rng
+
+    @property
     def host_link_cap(self) -> float:
         """Maximum utilization background traffic may impose on host access
         links (the first and last hop of every path).

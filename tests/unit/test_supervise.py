@@ -1,0 +1,178 @@
+"""Tests for the crash supervisor: restart policy, backoff, watchdog."""
+
+import json
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.sim import crashpoint
+from repro.sim.snapshot import CHECKPOINT_FILE, HEARTBEAT_FILE, JOURNAL_FILE
+from repro.sim.supervise import Supervisor, SupervisorConfig
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            SupervisorConfig(max_restarts=-1)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            SupervisorConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="backoff_max_s"):
+            SupervisorConfig(backoff_initial_s=5.0, backoff_max_s=1.0)
+        with pytest.raises(ValueError, match="stall_timeout_s"):
+            SupervisorConfig(stall_timeout_s=-1)
+        with pytest.raises(ValueError, match="poll_interval_s"):
+            SupervisorConfig(poll_interval_s=0)
+
+
+def child_script(tmp_path, body):
+    script = tmp_path / "child.py"
+    script.write_text(textwrap.dedent(body), encoding="utf-8")
+    return [sys.executable, str(script)]
+
+
+def quiet():
+    lines = []
+    return lines, lines.append
+
+
+class TestRestartPolicy:
+    def test_clean_exit_no_restart(self, tmp_path):
+        lines, sink = quiet()
+        supervisor = Supervisor(
+            child_script(tmp_path, "raise SystemExit(0)"),
+            state_dir=tmp_path,
+            config=SupervisorConfig(max_restarts=3, backoff_initial_s=0,
+                                    stall_timeout_s=0),
+            sink=sink)
+        assert supervisor.run() == 0
+        assert supervisor.restarts == 0
+
+    def test_crash_then_success_restarts_once(self, tmp_path):
+        # First run dies; the marker file makes the retry exit cleanly.
+        argv = child_script(tmp_path, f"""
+            import os, sys
+            marker = {str(tmp_path / "marker")!r}
+            if os.path.exists(marker):
+                sys.exit(0)
+            open(marker, "w").close()
+            os.kill(os.getpid(), 9)
+        """)
+        lines, sink = quiet()
+        supervisor = Supervisor(
+            argv, state_dir=tmp_path,
+            config=SupervisorConfig(max_restarts=3, backoff_initial_s=0,
+                                    stall_timeout_s=0),
+            sink=sink)
+        assert supervisor.run() == 0
+        assert supervisor.restarts == 1
+
+    def test_restart_budget_exhausted(self, tmp_path):
+        lines, sink = quiet()
+        supervisor = Supervisor(
+            child_script(tmp_path, "raise SystemExit(3)"),
+            state_dir=tmp_path,
+            config=SupervisorConfig(max_restarts=2, backoff_initial_s=0,
+                                    stall_timeout_s=0),
+            sink=sink)
+        assert supervisor.run() == 3
+        assert supervisor.restarts == 2
+        assert any("giving up" in line for line in lines)
+
+    def test_crash_env_stripped_from_restarts(self, tmp_path, monkeypatch):
+        """Only the first child may be the chaos victim: a restart that
+        inherited REPRO_CRASH_AT would re-crash forever."""
+        monkeypatch.setenv(crashpoint.ENV_VAR, "post-round:1")
+        monkeypatch.setenv(crashpoint.MODE_VAR, "raise")
+        argv = child_script(tmp_path, f"""
+            import json, os, sys
+            out = {str(tmp_path / "seen.jsonl")!r}
+            with open(out, "a") as handle:
+                handle.write(json.dumps(
+                    [os.environ.get("REPRO_CRASH_AT"),
+                     os.environ.get("REPRO_CRASH_MODE")]) + "\\n")
+            sys.exit(0 if os.path.getsize(out) > 40 else 1)
+        """)
+        lines, sink = quiet()
+        supervisor = Supervisor(
+            argv, state_dir=tmp_path,
+            config=SupervisorConfig(max_restarts=3, backoff_initial_s=0,
+                                    stall_timeout_s=0),
+            sink=sink)
+        assert supervisor.run() == 0
+        seen = [json.loads(line) for line in
+                (tmp_path / "seen.jsonl").read_text().splitlines()]
+        assert seen[0] == ["post-round:1", "raise"]  # first child armed
+        assert all(entry == [None, None] for entry in seen[1:])
+        assert len(seen) >= 2
+
+    def test_resume_flag_added_only_with_recoverable_state(self, tmp_path):
+        lines, sink = quiet()
+        supervisor = Supervisor(["serve"], state_dir=tmp_path, sink=sink)
+        assert supervisor._child_argv(0) == ["serve"]
+        assert supervisor._child_argv(1) == ["serve"]  # nothing on disk
+        (tmp_path / JOURNAL_FILE).write_bytes(b"")
+        assert supervisor._child_argv(1) == ["serve"]  # 0-byte journal
+        (tmp_path / CHECKPOINT_FILE).write_text("{}")
+        assert supervisor._child_argv(1) == ["serve", "--resume"]
+        assert supervisor._child_argv(0) == ["serve"]
+
+    def test_resume_not_duplicated(self, tmp_path):
+        (tmp_path / CHECKPOINT_FILE).write_text("{}")
+        lines, sink = quiet()
+        supervisor = Supervisor(["serve", "--resume"], state_dir=tmp_path,
+                                sink=sink)
+        assert supervisor._child_argv(1) == ["serve", "--resume"]
+
+
+class TestWatchdog:
+    def test_stalled_child_killed_and_reported(self, tmp_path):
+        """A child with a frozen heartbeat is killed once the stall
+        timeout lapses, and counts as a crash."""
+        (tmp_path / HEARTBEAT_FILE).write_text(
+            json.dumps({"wall": time.time(), "round": 7}))
+        argv = child_script(tmp_path, "import time; time.sleep(60)")
+        lines, sink = quiet()
+        supervisor = Supervisor(
+            argv, state_dir=tmp_path,
+            config=SupervisorConfig(max_restarts=0, backoff_initial_s=0,
+                                    stall_timeout_s=0.4,
+                                    poll_interval_s=0.05),
+            sink=sink)
+        started = time.time()
+        assert supervisor.run() == 1
+        assert time.time() - started < 30
+        assert any("no heartbeat progress" in line for line in lines)
+
+    def test_progressing_heartbeat_not_killed(self, tmp_path):
+        """A short-lived child whose heartbeat advances is left alone."""
+        beat = tmp_path / HEARTBEAT_FILE
+        argv = child_script(tmp_path, f"""
+            import json, time
+            for i in range(6):
+                open({str(beat)!r}, "w").write(
+                    json.dumps({{"wall": time.time(), "round": i}}))
+                time.sleep(0.1)
+        """)
+        lines, sink = quiet()
+        supervisor = Supervisor(
+            argv, state_dir=tmp_path,
+            config=SupervisorConfig(max_restarts=0, backoff_initial_s=0,
+                                    stall_timeout_s=0.45,
+                                    poll_interval_s=0.05),
+            sink=sink)
+        assert supervisor.run() == 0
+
+
+class TestGuards:
+    def test_empty_argv_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="argv"):
+            Supervisor([], state_dir=tmp_path)
+
+    def test_garbage_heartbeat_ignored(self, tmp_path):
+        (tmp_path / HEARTBEAT_FILE).write_text("not json{")
+        lines, sink = quiet()
+        supervisor = Supervisor(["x"], state_dir=tmp_path, sink=sink)
+        assert supervisor._read_heartbeat() is None
