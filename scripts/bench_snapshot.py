@@ -126,6 +126,61 @@ def check_learned_section(baseline_path: Path, baseline: dict) -> int:
     return 0
 
 
+def check_consistency_section(baseline_path: Path, baseline: dict) -> int:
+    """Validate the committed ``consistency_grid`` acceptance claims.
+
+    Static (no re-run): the section is written by ``repro
+    consistency-grid --out``; this guards against committing a snapshot
+    whose own numbers contradict the compilation contract — atomic cells
+    are single-stage, staged/augmented cells of the exact schedulers keep
+    exact cost parity with their atomic baseline, augmented transient
+    overload stays within its ε, and augmented schedules are never longer
+    than the strict staged ones. Absent section is fine (older PRs).
+    """
+    section = baseline.get("consistency_grid")
+    if section is None:
+        return 0
+    measurements = section.get("measurements", [])
+    failures = []
+    atomic_cost = {m["scheduler_kind"]: m["total_cost"]
+                   for m in measurements if m["mode"] == "atomic"}
+    staged_stages = {m["scheduler_kind"]: m["total_stages"]
+                     for m in measurements if m["mode"] == "staged"}
+    exact = ("fifo", "lmtf", "plmtf")
+    for m in measurements:
+        tag = f"{m['mode']}/eps={m['epsilon']}/{m['scheduler_kind']}"
+        if m["mode"] == "atomic" and m["max_stage_count"] > 1:
+            failures.append(f"{tag}: atomic cell has "
+                            f"max_stage_count={m['max_stage_count']}")
+        if m["mode"] == "staged" and m["max_transient_overload"] > 1e-9:
+            failures.append(f"{tag}: staged cell reports transient "
+                            f"overload {m['max_transient_overload']}")
+        if m["mode"] == "augmented" \
+                and m["max_transient_overload"] > m["epsilon"] + 1e-9:
+            failures.append(f"{tag}: overload "
+                            f"{m['max_transient_overload']} exceeds "
+                            f"epsilon {m['epsilon']}")
+        if m["mode"] != "atomic" and m["scheduler_kind"] in exact:
+            base = atomic_cost.get(m["scheduler_kind"])
+            if base is not None \
+                    and abs(m["total_cost"] - base) > 1e-6 * max(1.0, base):
+                failures.append(f"{tag}: cost {m['total_cost']} breaks "
+                                f"parity with atomic {base}")
+        if m["mode"] == "augmented":
+            strict = staged_stages.get(m["scheduler_kind"])
+            if strict is not None and m["total_stages"] > strict:
+                failures.append(f"{tag}: {m['total_stages']} stages exceed "
+                                f"the strict staged run's {strict}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL ({baseline_path.name} consistency_grid): {failure}")
+        return 1
+    print(f"consistency_grid section of {baseline_path.name}: "
+          f"{len(measurements)} cells — cost parity, epsilon bound and "
+          f"stage monotonicity OK")
+    return 0
+
+
 def check(baseline_path: Path) -> int:
     baseline = json.loads(baseline_path.read_text())
     base = baseline["benchmarks"].get(GATE_BENCHMARK)
@@ -142,7 +197,8 @@ def check(baseline_path: Path) -> int:
         print(f"FAIL: median regressed beyond {TOLERANCE}x tolerance")
         return 1
     print("OK: within tolerance")
-    return check_learned_section(baseline_path, baseline)
+    return (check_learned_section(baseline_path, baseline)
+            or check_consistency_section(baseline_path, baseline))
 
 
 def main() -> int:

@@ -18,7 +18,10 @@ For every (scheduler x kill point) cell in the grid the harness:
 One extra cell exercises the supervisor end-to-end: the armed child is
 launched via ``--supervise``, dies by SIGKILL, and the supervisor (which
 strips the crash armament from restarted children) restarts it with
-``--resume`` to the same digest.
+``--resume`` to the same digest. Another runs ``--compile-mode staged``
+and kills the service *between the stages* of one compiled plan (the
+``stage`` crash point), proving staged execution resumes byte-identically
+too.
 
 Usage::
 
@@ -150,6 +153,45 @@ def main() -> int:
                     f"  resumed  {resumed}\n"
                     f"  state dir kept at {state}")
 
+    # Mid-staged-execution kill: under --compile-mode staged a multi-stage
+    # compiled plan visits the "stage" crash point between its stages, so
+    # the service dies with an event's schedule half-applied in memory.
+    # Only checkpoint + journal survive; the resumed run must replay the
+    # round from its durable prefix to the staged baseline's exact digest.
+    staged_flags = ["--scheduler", "plmtf", "--compile-mode", "staged",
+                    "--min-flows", "4", "--max-flows", "8"]
+    staged_base = work / "staged-baseline"
+    shutil.rmtree(staged_base, ignore_errors=True)
+    run(serve_argv(staged_base, staged_flags, args.events))
+    staged_baseline = final_digest(staged_base)
+    print(f"[staged-plmtf] baseline digest {staged_baseline[:16]}… "
+          f"({time.time() - started:.0f}s)")
+    staged_state = work / "staged-stage"
+    shutil.rmtree(staged_state, ignore_errors=True)
+    killed = run(serve_argv(staged_state, staged_flags, args.events),
+                 extra_env={"REPRO_CRASH_AT": "stage:1"}, check=False)
+    if killed.returncode != -signal.SIGKILL:
+        failures.append(
+            f"staged-plmtf/stage:1: armed run exited {killed.returncode}, "
+            f"expected SIGKILL death mid-staged-execution (no multi-stage "
+            f"plan compiled?)")
+        print(killed.stdout[-2000:])
+        print(killed.stderr[-2000:], file=sys.stderr)
+    else:
+        run(serve_argv(staged_state, staged_flags, args.events,
+                       resume=True),
+            extra_env={"REPRO_AUDIT": "1"})
+        resumed = final_digest(staged_state)
+        ok = resumed == staged_baseline
+        print(f"[staged-plmtf/stage:1] resumed digest {resumed[:16]}… "
+              f"{'MATCH' if ok else 'MISMATCH'}")
+        if not ok:
+            failures.append(
+                f"staged-plmtf/stage:1: digest mismatch\n"
+                f"  baseline {staged_baseline}\n"
+                f"  resumed  {resumed}\n"
+                f"  state dir kept at {staged_state}")
+
     # Supervisor end-to-end: the armed child SIGKILLs itself; the
     # supervisor strips the armament and restarts with --resume.
     sup_state = work / "supervised"
@@ -175,7 +217,7 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    cells = len(SCHEDULERS) * len(KILL_POINTS) + 1
+    cells = len(SCHEDULERS) * len(KILL_POINTS) + 2
     print(f"\nOK: {cells} crash/resume cells byte-identical to their "
           f"uninterrupted baselines ({elapsed:.0f}s)")
     if args.work_dir is None:

@@ -9,8 +9,10 @@ Examples::
     repro fig7 --events 30
     repro report --out results/ --quick
     repro serve --stream synthetic --rate 0.5 --events 200
+    repro serve --compile-mode staged --scheduler staged-plmtf
     repro scale-bench --depths 100000 --shards 1,4 --out BENCH_7.json
     repro learned-bench --rounds 120 --out BENCH_8.json
+    repro consistency-grid --epsilons 0.05,0.2 --out BENCH_10.json
     python -m repro.cli fig9 --utilization 0.7
 
 Each figure command prints the figure's series as an aligned ASCII table;
@@ -37,7 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("figure",
                         help="figure id (fig1..fig9, ablation-*, "
                              "robustness-*), 'list', 'report', 'serve', "
-                             "'scale-bench' or 'learned-bench'")
+                             "'scale-bench', 'learned-bench' or "
+                             "'consistency-grid'")
     parser.add_argument("--seed", type=int, default=0,
                         help="master random seed (default 0)")
     parser.add_argument("--events", type=int, default=None,
@@ -86,9 +89,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "(default 0.5)")
     parser.add_argument("--scheduler", default="plmtf",
                         choices=("fifo", "lmtf", "plmtf", "flow-level",
-                                 "l-lmtf"),
+                                 "l-lmtf", "staged-lmtf", "staged-plmtf"),
                         help="scheduling policy (default plmtf; l-lmtf is "
-                             "the learned candidate ranking)")
+                             "the learned candidate ranking; staged-* "
+                             "tie-break on compiled schedule length)")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="route the policy through the sharded "
                              "admission pipeline with N shards "
@@ -131,6 +135,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-deferrals", type=int, default=8,
                         help="deferral budget before an unplaceable event "
                              "is dropped (default 8)")
+    parser.add_argument("--compile-mode", default="atomic",
+                        choices=("atomic", "staged", "augmented"),
+                        help="plan-compilation mode: atomic (one-shot, "
+                             "default), staged (congestion-free stages) or "
+                             "augmented (staged with epsilon headroom)")
+    parser.add_argument("--epsilon", type=float, default=0.0,
+                        help="augmented mode only: transient "
+                             "over-subscription bound as a fraction of "
+                             "link capacity (default 0.0)")
     parser.add_argument("--state-dir", default=None, metavar="DIR",
                         help="enable crash recovery: write-ahead journal, "
                              "restorable checkpoint and supervisor "
@@ -307,6 +320,85 @@ def _learned_bench(argv: list[str]) -> int:
     return 0
 
 
+def build_consistency_grid_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro consistency-grid",
+        description="Sweep the plan-compilation modes (atomic / staged / "
+                    "augmented-epsilon) across schedulers on one frozen "
+                    "workload: cost parity, stage-count distribution, "
+                    "one-shot-safe fraction (see "
+                    "repro.experiments.consistencygrid).")
+    parser.add_argument("--modes", default="atomic,staged,augmented",
+                        metavar="M1,M2,...",
+                        help="compile modes to sweep (default all three)")
+    parser.add_argument("--epsilons", default="0.1", metavar="E1,E2,...",
+                        help="augmentation knobs for the augmented cells "
+                             "(default 0.1)")
+    parser.add_argument("--schedulers", default="lmtf,plmtf",
+                        metavar="S1,S2,...",
+                        help="scheduler kinds per grid point (default "
+                             "lmtf,plmtf; staged-lmtf/staged-plmtf add "
+                             "schedule-length tie-breaking)")
+    parser.add_argument("--events", type=int, default=20,
+                        help="queued events per cell (default 20)")
+    parser.add_argument("--utilization", type=float, default=0.85,
+                        help="background fabric utilization (default 0.85; "
+                             "high load makes schedules long)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master random seed (default 0)")
+    parser.add_argument("--alpha", type=int, default=None,
+                        help="LMTF/P-LMTF sample size (default 4)")
+    parser.add_argument("--k", type=int, default=4,
+                        help="Fat-Tree arity (default 4)")
+    parser.add_argument("--min-flows", type=int, default=3,
+                        help="minimum flows per event (default 3)")
+    parser.add_argument("--max-flows", type=int, default=8,
+                        help="maximum flows per event (default 8)")
+    parser.add_argument("--audit", action="store_true",
+                        help="attach the lifecycle auditor to every cell "
+                             "(slower; CI smoke uses this)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan grid cells out to N worker processes")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="JSONL cell checkpoint (enables --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse completed cells from --checkpoint")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="merge measurements into this JSON snapshot "
+                             "under the 'consistency_grid' key (e.g. "
+                             "BENCH_10.json)")
+    return parser
+
+
+def _consistency_grid(argv: list[str]) -> int:
+    from repro.experiments.consistencygrid import (
+        merge_snapshot,
+        run_consistency_grid,
+    )
+    from repro.experiments.runner import PrintProgress
+
+    args = build_consistency_grid_parser().parse_args(argv)
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    epsilons = tuple(float(e) for e in args.epsilons.split(",")
+                     if e.strip())
+    schedulers = tuple(s.strip() for s in args.schedulers.split(",")
+                       if s.strip())
+    started = time.time()
+    result = run_consistency_grid(
+        modes=modes, epsilons=epsilons, schedulers=schedulers,
+        events=args.events, utilization=args.utilization, seed=args.seed,
+        alpha=args.alpha, k=args.k, min_flows=args.min_flows,
+        max_flows=args.max_flows, audit=args.audit, jobs=args.jobs,
+        checkpoint=args.checkpoint, resume=args.resume,
+        listener=PrintProgress())
+    print(result.to_table())
+    print(f"\n[consistency-grid completed in {time.time() - started:.1f}s]")
+    if args.out is not None:
+        path = merge_snapshot(args.out, result)
+        print(f"consistency_grid section merged into {path}")
+    return 0
+
+
 def serve_scheduler_spec(args) -> dict:
     """The scheduler spec dict a ``repro serve`` invocation describes.
 
@@ -316,6 +408,16 @@ def serve_scheduler_spec(args) -> dict:
     if args.scheduler in ("lmtf", "plmtf"):
         spec = {"kind": args.scheduler, "alpha": args.alpha,
                 "seed": args.seed + 9}
+    elif args.scheduler in ("staged-lmtf", "staged-plmtf"):
+        # The staged policies predict schedule lengths under the serve
+        # run's own compile mode; under atomic they predict strict staged
+        # schedules (atomic compilation carries no tie-break signal).
+        spec = {"kind": args.scheduler, "alpha": args.alpha,
+                "seed": args.seed + 9}
+        if args.compile_mode == "augmented":
+            spec.update(mode="augmented", epsilon=args.epsilon)
+        else:
+            spec.update(mode="staged")
     elif args.scheduler == "l-lmtf":
         spec = {"kind": "learned", "alpha": args.alpha,
                 "seed": args.seed + 9}
@@ -346,7 +448,9 @@ def build_service(args, resume: bool = False):
     scheduler = build_scheduler(serve_scheduler_spec(args))
     scenario = Scenario(utilization=args.utilization, seed=args.seed,
                         defaults=replace(DEFAULTS, k=args.k))
-    sim = scenario.simulator(scheduler, max_deferrals=args.max_deferrals)
+    sim = scenario.simulator(scheduler, max_deferrals=args.max_deferrals,
+                             compile_mode=args.compile_mode,
+                             compile_epsilon=args.epsilon)
     stream = make_stream(
         args.stream, scenario.topology.hosts(), rate=args.rate,
         seed=args.seed + 7,
@@ -368,6 +472,10 @@ def _serve(argv: list[str]) -> int:
     from repro.sim.snapshot import RecoveryError, discard_state
 
     args = build_serve_parser().parse_args(argv)
+    if args.epsilon and args.compile_mode != "augmented":
+        print("--epsilon > 0 requires --compile-mode augmented",
+              file=sys.stderr)
+        return 2
     if args.resume and args.state_dir is None:
         print("--resume needs --state-dir pointing at the run to continue",
               file=sys.stderr)
@@ -463,6 +571,8 @@ def main(argv: list[str] | None = None) -> int:
         return _scale_bench(argv[1:])
     if argv and argv[0] == "learned-bench":
         return _learned_bench(argv[1:])
+    if argv and argv[0] == "consistency-grid":
+        return _consistency_grid(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
         print("available figures:")

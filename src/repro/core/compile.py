@@ -1,0 +1,241 @@
+"""Compile an :class:`EventPlan` into a consistency-aware staged schedule.
+
+The paper treats an event's update as one atomic reroute+install, but the
+related consistency literature ("Short Schedules for Fast Flow Rerouting",
+"The Augmentation-Speed Tradeoff for Consistent Network Updates") makes the
+*transition* itself the object of study: order the primitive steps so no
+intermediate state oversubscribes a link, and optionally trade a bounded ε
+of transient over-subscription for a shorter schedule. This module is that
+compilation stage, sitting between planning and execution:
+
+* ``atomic`` (the default) — the whole plan is one stage, exactly today's
+  one-shot behavior. The stage's recorded ``transient_overload`` is the
+  worst one-shot flip overshoot from
+  :func:`repro.core.consistency.transient_overloads` (0.0 when the plan is
+  one-shot safe), so the mode doubles as the one-shot-safety probe.
+* ``staged`` — strict congestion-freedom: steps are ordered by
+  :func:`repro.core.ordering.find_safe_order` and greedily batched into the
+  longest prefixes whose *transient* load (a migrated flow occupies both
+  its old and new path until the stage commits; a placed flow sends
+  immediately) stays within every link's capacity.
+* ``augmented`` — like ``staged`` but any link may transiently carry up to
+  ``(1 + ε) · capacity`` inside a stage, which merges stages and shortens
+  the schedule; the settled state after every stage is back to
+  ``≤ capacity`` because settled loads are exactly the planner-verified
+  sequential states.
+
+A plan whose sequential order is safe against the compiled-against state
+(our planner guarantees this at plan time) always compiles into stages that
+respect the ``(1 + ε)`` bound: a single step's transient load on the links
+it adds equals its settled load, which the planner already bounded by
+capacity. Under state *drift* (churn between planning and execution) a step
+may not fit even alone; it is then emitted as its own stage with the
+overshoot recorded in ``transient_overload`` rather than dropped — the
+executor's live network still enforces hard capacity and its failure path
+(rollback + requeue) handles the drift, while the compiler stays total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.consistency import transient_overloads
+from repro.core.ordering import Step, StepKind, find_safe_order, plan_steps
+from repro.core.plan import EventPlan, Migration
+from repro.network.link import EPS, LinkId, path_links
+from repro.network.state import NetworkState
+
+#: Recognized compilation modes.
+COMPILE_MODES = ("atomic", "staged", "augmented")
+
+
+@dataclass(frozen=True)
+class PlanCompilerConfig:
+    """How plans are compiled into staged schedules.
+
+    Attributes:
+        mode: one of :data:`COMPILE_MODES` — ``atomic`` (one-shot, the
+            byte-identical default), ``staged`` (strict congestion-free
+            stages), ``augmented`` (stages may transiently oversubscribe
+            any link by ``≤ epsilon · capacity``).
+        epsilon: the augmentation knob; must be 0 unless ``mode`` is
+            ``augmented``.
+    """
+
+    mode: str = "atomic"
+    epsilon: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in COMPILE_MODES:
+            raise ValueError(f"unknown compile mode {self.mode!r}; "
+                             f"pick one of {COMPILE_MODES}")
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be >= 0")
+        if self.epsilon > 0 and self.mode != "augmented":
+            raise ValueError(
+                f"epsilon > 0 requires mode='augmented', got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One batch of steps applied together, then settled.
+
+    ``transient_overload`` is the worst-link fractional overshoot of base
+    capacity while the stage is in flight: 0.0 for a congestion-free stage,
+    ``≤ ε`` for an augmented stage, larger only when the compiled-against
+    state had drifted so far that a single step no longer fits alone.
+    """
+
+    steps: tuple[Step, ...]
+    transient_overload: float = 0.0
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """An ordered sequence of stages realizing ``plan``."""
+
+    plan: EventPlan
+    mode: str
+    epsilon: float
+    stages: tuple[Stage, ...]
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+    @property
+    def max_transient_overload(self) -> float:
+        """Worst fractional capacity overshoot across all stages."""
+        return max((s.transient_overload for s in self.stages), default=0.0)
+
+    @property
+    def steps(self) -> tuple[Step, ...]:
+        """All steps in execution order (stage by stage)."""
+        return tuple(s for stage in self.stages for s in stage.steps)
+
+
+def compile_plan(state: NetworkState, plan: EventPlan,
+                 config: PlanCompilerConfig | None = None) -> CompiledPlan:
+    """Compile ``plan`` against ``state`` into a :class:`CompiledPlan`.
+
+    Read-only on ``state`` (safe ordering probes a throwaway view). The
+    compiled steps are a permutation of :func:`plan_steps`; when the plan's
+    own sequential order is safe against ``state`` — always true when
+    compiling against the state the plan was computed on — the permutation
+    is the identity, so stage-by-stage execution reaches a final state
+    byte-identical to the atomic :func:`repro.core.executor.apply_plan`.
+    """
+    config = config or PlanCompilerConfig()
+    steps = plan_steps(plan)
+    if config.mode == "atomic":
+        overloads = transient_overloads(state, plan)
+        overload = max((o.excess / o.capacity
+                        for o in overloads if o.capacity > 0), default=0.0)
+        return CompiledPlan(
+            plan=plan, mode=config.mode, epsilon=0.0,
+            stages=(Stage(steps=tuple(steps),
+                          transient_overload=overload),))
+    ordering = find_safe_order(state, steps)
+    # A safe order exists in plan order against the planned-on state; under
+    # drift, stuck steps (swap deadlocks) are appended so execution still
+    # attempts every step — the live network enforces capacity for real.
+    sequence = ordering.order + ordering.stuck
+    stages = _batch_stages(state, sequence, config.epsilon)
+    if not stages:
+        stages = (Stage(steps=()),)
+    return CompiledPlan(plan=plan, mode=config.mode,
+                        epsilon=config.epsilon, stages=stages)
+
+
+# ----------------------------------------------------------------- internals
+
+
+def _transient_additions(step: Step) -> dict[LinkId, float]:
+    """Per-link load a step adds *while its stage is in flight*.
+
+    A migrated flow occupies both paths until the stage commits, so only
+    links new to its path gain load; a placed flow loads its whole path.
+    """
+    added: dict[LinkId, float] = {}
+    if step.kind is StepKind.MIGRATE:
+        migration = step.payload
+        assert isinstance(migration, Migration)
+        old = frozenset(path_links(migration.old_path))
+        for link in path_links(step.path):
+            if link not in old:
+                added[link] = added.get(link, 0.0) + step.demand
+    else:
+        for link in path_links(step.path):
+            added[link] = added.get(link, 0.0) + step.demand
+    return added
+
+
+def _settle(step: Step, delta: dict[LinkId, float]) -> None:
+    """Fold a committed step's steady-state load shift into ``delta``."""
+    if step.kind is StepKind.MIGRATE:
+        migration = step.payload
+        assert isinstance(migration, Migration)
+        old = frozenset(path_links(migration.old_path))
+        new = frozenset(path_links(migration.new_path))
+        for link in new - old:
+            delta[link] = delta.get(link, 0.0) + step.demand
+        for link in old - new:
+            delta[link] = delta.get(link, 0.0) - step.demand
+    else:
+        for link in path_links(step.path):
+            delta[link] = delta.get(link, 0.0) + step.demand
+
+
+def _batch_stages(state: NetworkState, sequence: list[Step],
+                  epsilon: float) -> tuple[Stage, ...]:
+    """Greedy longest-prefix batching of ``sequence`` into stages.
+
+    ``delta`` shadows the settled load shift of the stages already closed
+    (a plain dict, not a capacity-enforcing view: augmented stages may
+    legally exceed capacity mid-schedule). A step joins the current batch
+    iff every link it loads stays within ``(1 + ε) · capacity``; a step
+    that does not fit even in an empty batch becomes its own stage with
+    the overshoot recorded.
+    """
+    delta: dict[LinkId, float] = {}
+    stages: list[Stage] = []
+    batch: list[Step] = []
+    batch_added: dict[LinkId, float] = {}
+
+    def headroom(link: LinkId) -> float:
+        capacity = state.capacity(*link)
+        return ((1.0 + epsilon) * capacity + EPS
+                - state.used(*link) - delta.get(link, 0.0))
+
+    def close() -> None:
+        if not batch:
+            return
+        overload = 0.0
+        for link, add in batch_added.items():
+            capacity = state.capacity(*link)
+            if capacity <= 0:
+                continue
+            transient = state.used(*link) + delta.get(link, 0.0) + add
+            overload = max(overload, (transient - capacity) / capacity)
+        stages.append(Stage(steps=tuple(batch),
+                            transient_overload=max(0.0, overload)))
+        for step in batch:
+            _settle(step, delta)
+        batch.clear()
+        batch_added.clear()
+
+    for step in sequence:
+        additions = _transient_additions(step)
+        fits = all(batch_added.get(link, 0.0) + add <= headroom(link)
+                   for link, add in additions.items())
+        if not fits and batch:
+            close()
+            fits = all(add <= headroom(link)
+                       for link, add in additions.items())
+        for link, add in additions.items():
+            batch_added[link] = batch_added.get(link, 0.0) + add
+        batch.append(step)
+        if not fits:
+            close()  # drifted singleton: emit with its overshoot recorded
+    close()
+    return tuple(stages)

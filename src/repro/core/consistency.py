@@ -67,7 +67,7 @@ def transient_overloads(state: NetworkState,
                         + migration.flow.demand
         for link in path_links(flow_plan.path):
             added[link] = added.get(link, 0.0) + flow_plan.flow.demand
-    overloads = []
+    overloads: list[TransientOverload] = []
     for link, extra in sorted(added.items()):
         transient = state.used(*link) + extra
         capacity = state.capacity(*link)

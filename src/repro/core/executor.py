@@ -28,14 +28,21 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.core.compile import (
+    CompiledPlan,
+    PlanCompilerConfig,
+    compile_plan,
+)
 from repro.core.exceptions import (
     ControlPlaneError,
     PlacementError,
     PlanningError,
     TopologyError,
 )
-from repro.core.plan import EventPlan, ExecutionRecord
+from repro.core.ordering import Step, StepKind
+from repro.core.plan import EventPlan, ExecutionRecord, FlowPlan
 from repro.network.state import NetworkState
+from repro.sim.crashpoint import crash_point
 from repro.sim.timing import TimingModel
 
 if TYPE_CHECKING:
@@ -98,6 +105,46 @@ def _rollback(state: NetworkState, applied: list[_AppliedOp]) -> None:
             state.reroute(flow_id, old_path)
 
 
+def _apply_step(state: NetworkState, step: Step,
+                applied: list[_AppliedOp], rerouted: list[str]) -> None:
+    """Apply one compiled step, recording its undo operation."""
+    if step.kind is StepKind.MIGRATE:
+        old = state.placement(step.flow_id)
+        state.reroute(step.flow_id, step.path)
+        applied.append(("reroute", (step.flow_id, old.path)))
+        rerouted.append(step.flow_id)
+    else:
+        flow_plan = step.payload
+        assert isinstance(flow_plan, FlowPlan)
+        state.place(flow_plan.flow, step.path)
+        applied.append(("place", (step.flow_id,)))
+
+
+def apply_stages(state: NetworkState, compiled: CompiledPlan) -> list[str]:
+    """Apply a compiled plan stage by stage; the staged analog of
+    :func:`apply_plan`.
+
+    Returns the rerouted flow ids. Rollback is *whole-plan*: a failure in
+    any stage undoes every stage already applied (newest op first), so the
+    caller sees the same all-or-nothing contract as :func:`apply_plan` —
+    settled intermediate states never leak past a raised error. The
+    ``"stage"`` crash point fires between stages for the chaos harness.
+    """
+    _check_feasible(compiled.plan)
+    applied: list[_AppliedOp] = []
+    rerouted: list[str] = []
+    try:
+        for index, stage in enumerate(compiled.stages):
+            if index:
+                crash_point("stage")
+            for step in stage.steps:
+                _apply_step(state, step, applied, rerouted)
+    except (PlacementError, TopologyError):
+        _rollback(state, applied)
+        raise
+    return rerouted
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded-retry knobs for execution on an unreliable control plane.
@@ -147,16 +194,25 @@ class PlanExecutor:
             :class:`~repro.core.exceptions.ControlPlaneError` — matching
             the historical accounting exactly (a propagating
             ``PlacementError`` reports nothing, as before).
+        compiler: plan-compilation config. ``None`` or ``atomic`` mode
+            takes the historical one-shot path bit for bit (no compile
+            call at all); ``staged``/``augmented`` compile each plan at
+            execute time and apply it stage by stage, charging install
+            latency per stage.
     """
 
     def __init__(self, timing: TimingModel | None = None,
                  control_plane: "ControlPlane | None" = None,
                  retry: RetryPolicy | None = None,
-                 hooks: "HookBus | None" = None) -> None:
+                 hooks: "HookBus | None" = None,
+                 compiler: PlanCompilerConfig | None = None) -> None:
         self._timing = timing or TimingModel()
         self._control_plane = control_plane
         self._retry = retry or RetryPolicy()
         self._hooks = hooks
+        if compiler is not None and compiler.mode == "atomic":
+            compiler = None  # atomic IS the default path
+        self._compiler = compiler
 
     @property
     def timing(self) -> TimingModel:
@@ -165,6 +221,10 @@ class PlanExecutor:
     @property
     def retry(self) -> RetryPolicy:
         return self._retry
+
+    @property
+    def compiler(self) -> PlanCompilerConfig | None:
+        return self._compiler
 
     def execute(self, state: NetworkState, plan: EventPlan,
                 start_time: float) -> ExecutionRecord:
@@ -187,6 +247,8 @@ class PlanExecutor:
                 or the retry deadline elapsed; state is rolled back.
         """
         cp = self._control_plane
+        if self._compiler is not None:
+            return self._execute_compiled(state, plan, start_time, cp)
         migration_time = self._timing.migration_time(plan.migrations)
         install_time = self._timing.install_time(len(plan.flow_plans))
         if cp is None or cp.reliable:
@@ -239,6 +301,115 @@ class PlanExecutor:
                     f"{attempts} attempt(s)",
                     attempts=attempts, elapsed=elapsed)
             elapsed += backoff
+
+    def _execute_compiled(self, state: NetworkState, plan: EventPlan,
+                          start_time: float,
+                          cp: "ControlPlane | None") -> ExecutionRecord:
+        """Staged/augmented execution: compile, then apply stage by stage.
+
+        The plan is compiled against the live state at execute time — the
+        same state it was planned against in the default round pipeline —
+        so the compiled step order is the plan order and the settled final
+        state is byte-identical to the atomic path's. Install latency is
+        charged per stage, so longer schedules cost simulated time.
+        """
+        _check_feasible(plan)
+        assert self._compiler is not None
+        compiled = compile_plan(state, plan, self._compiler)
+        migration_time = self._timing.migration_time(plan.migrations)
+        install_time = self._timing.install_time(
+            len(plan.flow_plans), stages=compiled.stage_count)
+        if cp is None or cp.reliable:
+            rerouted = apply_stages(state, compiled)
+            return ExecutionRecord(
+                plan=plan,
+                start_time=start_time,
+                migration_time=migration_time,
+                install_time=install_time,
+                finish_setup_time=start_time + migration_time + install_time,
+                rerouted_flow_ids=tuple(rerouted),
+                stage_count=compiled.stage_count,
+                max_transient_overload=compiled.max_transient_overload,
+                epsilon=compiled.epsilon,
+            )
+        base_time = migration_time + install_time
+        elapsed = 0.0
+        attempts = 0
+        while True:
+            attempts += 1
+            jitter = cp.attempt_jitter_s()
+            rerouted_attempt = self._attempt_compiled(state, compiled, cp)
+            elapsed += base_time + jitter
+            if rerouted_attempt is not None:
+                self._note_retries(plan, attempts)
+                return ExecutionRecord(
+                    plan=plan,
+                    start_time=start_time,
+                    migration_time=migration_time,
+                    install_time=install_time,
+                    finish_setup_time=start_time + elapsed,
+                    rerouted_flow_ids=tuple(rerouted_attempt),
+                    attempts=attempts,
+                    retry_time=elapsed - base_time,
+                    stage_count=compiled.stage_count,
+                    max_transient_overload=compiled.max_transient_overload,
+                    epsilon=compiled.epsilon,
+                )
+            retries_left = self._retry.max_retries - (attempts - 1)
+            backoff = (self._retry.backoff_s
+                       * self._retry.backoff_factor ** (attempts - 1))
+            if retries_left <= 0:
+                self._note_retries(plan, attempts)
+                raise ControlPlaneError(
+                    f"event {plan.event.event_id}: all {attempts} "
+                    f"execution attempts failed on the control plane",
+                    attempts=attempts, elapsed=elapsed)
+            if elapsed + backoff > self._retry.deadline_s:
+                self._note_retries(plan, attempts)
+                raise ControlPlaneError(
+                    f"event {plan.event.event_id}: execution deadline "
+                    f"{self._retry.deadline_s:.3f}s exceeded after "
+                    f"{attempts} attempt(s)",
+                    attempts=attempts, elapsed=elapsed)
+            elapsed += backoff
+
+    def _attempt_compiled(self, state: NetworkState, compiled: CompiledPlan,
+                          cp: "ControlPlane") -> list[str] | None:
+        """One staged execution attempt under an unreliable ``cp``.
+
+        Consumes the same control-plane RNG sequence as :meth:`_attempt`
+        whenever the compiled step order equals the plan order (the
+        no-drift case): one ``migration_ok`` per migrate step and one
+        ``install_ok`` per place step, in plan order.
+        """
+        snapshot_fn = getattr(state, "version_snapshot", None)
+        restore_fn = getattr(state, "restore_versions", None)
+        versions = snapshot_fn() if snapshot_fn is not None else None
+        applied: list[_AppliedOp] = []
+        rerouted: list[str] = []
+
+        def undo() -> None:
+            _rollback(state, applied)
+            if versions is not None and restore_fn is not None:
+                restore_fn(versions)
+
+        try:
+            for index, stage in enumerate(compiled.stages):
+                if index:
+                    crash_point("stage")
+                for step in stage.steps:
+                    if step.kind is StepKind.MIGRATE:
+                        if not cp.migration_ok():
+                            undo()
+                            return None
+                    elif not cp.install_ok():
+                        undo()
+                        return None
+                    _apply_step(state, step, applied, rerouted)
+        except (PlacementError, TopologyError):
+            undo()
+            raise
+        return rerouted
 
     def _note_retries(self, plan: EventPlan, attempts: int) -> None:
         """Announce the failed attempts of one execute on the hook bus."""

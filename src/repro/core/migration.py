@@ -58,7 +58,7 @@ class MigrationConfig:
     max_migrations_per_flow: int = 16
     prefer_disjoint: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise ValueError(f"unknown migration strategy "
                              f"{self.strategy!r}; pick one of {STRATEGIES}")
@@ -72,7 +72,7 @@ class MigrationPlanner:
     """Computes and applies the migration set ``F_a`` for one new flow."""
 
     def __init__(self, provider: PathProvider,
-                 config: MigrationConfig | None = None):
+                 config: MigrationConfig | None = None) -> None:
         self._provider = provider
         self._config = config or MigrationConfig()
 
@@ -220,7 +220,7 @@ class MigrationPlanner:
         """
         own = frozenset((placement.flow.flow_id,))
         best: tuple[str, ...] | None = None
-        best_key: tuple | None = None
+        best_key: tuple[bool, float, float] | None = None
         for path in self._provider.paths(placement.flow.src,
                                          placement.flow.dst):
             links = path.link_set

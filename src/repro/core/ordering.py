@@ -20,7 +20,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.exceptions import InsufficientBandwidthError
-from repro.core.plan import EventPlan
+from repro.core.plan import EventPlan, FlowPlan, Migration
 from repro.network.state import NetworkState
 from repro.network.view import NetworkView
 
@@ -38,7 +38,7 @@ class Step:
     flow_id: str
     path: tuple[str, ...]
     demand: float
-    payload: object  # the Migration or FlowPlan this step came from
+    payload: Migration | FlowPlan  # what this step came from
 
     def describe(self) -> str:
         return f"{self.kind.value} {self.flow_id} ({self.demand:.1f} Mbit/s)"

@@ -112,6 +112,11 @@ class ExecutionRecord:
         retry_time: simulated seconds lost to failed attempts, backoff
             waits, and control-plane latency jitter; included in
             ``finish_setup_time``.
+        stage_count: stages of the compiled schedule actually applied
+            (1 under atomic compilation).
+        max_transient_overload: worst fractional capacity overshoot any
+            link saw while a stage was in flight (0.0 when congestion-free).
+        epsilon: the augmentation knob the plan was compiled with.
     """
 
     plan: EventPlan
@@ -122,3 +127,6 @@ class ExecutionRecord:
     rerouted_flow_ids: tuple[str, ...] = field(default=())
     attempts: int = 1
     retry_time: float = 0.0
+    stage_count: int = 1
+    max_transient_overload: float = 0.0
+    epsilon: float = 0.0

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.event import UpdateEvent
 from repro.core.exceptions import InsufficientBandwidthError
@@ -25,6 +26,7 @@ from repro.network.footprint import (
     FootprintRecorder,
 )
 from repro.network.link import EPS, path_links
+from repro.network.routing.candidate import CandidatePath
 from repro.network.routing.provider import PathProvider
 from repro.network.state import NetworkState
 from repro.network.view import NetworkView
@@ -73,7 +75,7 @@ class PlannerConfig:
     max_migration_paths: int = 4
     migration: MigrationConfig = field(default_factory=MigrationConfig)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.path_selection not in PATH_SELECTION:
             raise ValueError(f"unknown path selection "
                              f"{self.path_selection!r}; "
@@ -89,7 +91,7 @@ class EventPlanner:
     """Plans update events against a network state."""
 
     def __init__(self, provider: PathProvider,
-                 config: PlannerConfig | None = None):
+                 config: PlannerConfig | None = None) -> None:
         self._provider = provider
         self._config = config or PlannerConfig()
         self._migration = MigrationPlanner(provider, self._config.migration)
@@ -192,7 +194,8 @@ class EventPlanner:
                    protected: frozenset[str],
                    rng: random.Random) -> tuple[FlowPlan | None, int]:
         """Place one flow, migrating existing flows if necessary."""
-        paths = self._provider.paths(flow.src, flow.dst)
+        paths: Sequence[CandidatePath] = \
+            self._provider.paths(flow.src, flow.dst)
         ops = 0
         if self._config.path_selection == "desired":
             desired = self.desired_path(flow, paths)
@@ -249,13 +252,14 @@ class EventPlanner:
         return None, ops
 
     @staticmethod
-    def desired_path(flow: Flow, paths) -> tuple[str, ...]:
+    def desired_path(flow: Flow,
+                     paths: Sequence[CandidatePath]) -> CandidatePath:
         """The flow's hash-designated (ECMP-style) desired path."""
         digest = zlib.crc32(flow.flow_id.encode("utf-8"))
         return paths[digest % len(paths)]
 
-    def _try_migration(self, state: NetworkView, flow: Flow, path,
-                       protected: frozenset[str],
+    def _try_migration(self, state: NetworkView, flow: Flow,
+                       path: Sequence[str], protected: frozenset[str],
                        rng: random.Random) -> tuple[FlowPlan | None, int]:
         """Attempt to make room for ``flow`` on ``path`` via migration."""
         attempt = NetworkView(state)
@@ -272,10 +276,12 @@ class EventPlanner:
         return FlowPlan(flow=flow, path=tuple(path),
                         migrations=tuple(migrations)), ops
 
-    def _select_feasible_path(self, state: NetworkState, flow: Flow,
-                              paths, rng: random.Random):
+    def _select_feasible_path(
+            self, state: NetworkState, flow: Flow,
+            paths: Sequence[CandidatePath],
+            rng: random.Random) -> CandidatePath | None:
         """Pick a path with sufficient residual, or None."""
-        feasible = []
+        feasible: list[tuple[float, CandidatePath]] = []
         for path in paths:
             residual = state.path_residual(path)
             if residual + EPS >= flow.demand:
@@ -291,7 +297,8 @@ class EventPlanner:
         return rng.choice(best)
 
     @staticmethod
-    def _deficit(state: NetworkState, path, demand: float) -> float:
+    def _deficit(state: NetworkState, path: Sequence[str],
+                 demand: float) -> float:
         """Total bandwidth that migration must free along ``path``."""
         return sum(max(0.0, demand - res)
                    for res in state.path_residuals(path))

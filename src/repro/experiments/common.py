@@ -139,17 +139,23 @@ class Scenario:
     def simulator(self, scheduler: Scheduler,
                   round_barrier: str = "completion",
                   control_plane=None, faults=None,
-                  max_deferrals: int | None = None) -> UpdateSimulator:
+                  max_deferrals: int | None = None,
+                  compile_mode: str = "atomic",
+                  compile_epsilon: float = 0.0) -> UpdateSimulator:
         """A simulator over a fresh network copy for one scheduler run.
 
         ``control_plane``/``faults``/``max_deferrals`` wire in the fault
-        pipeline (see :mod:`repro.sim.faults`); the defaults keep the
-        legacy fault-free, infallible setup bit-for-bit.
+        pipeline (see :mod:`repro.sim.faults`); ``compile_mode``/
+        ``compile_epsilon`` select the plan-compilation mode
+        (:mod:`repro.core.compile`); the defaults keep the legacy
+        fault-free, infallible, atomic setup bit-for-bit.
         """
         config = SimulationConfig(seed=self.seed + 5,
                                   background_churn=self.churn,
                                   round_barrier=round_barrier,
-                                  max_deferrals=max_deferrals)
+                                  max_deferrals=max_deferrals,
+                                  compile_mode=compile_mode,
+                                  compile_epsilon=compile_epsilon)
         churn_trace = self.background_trace(seed_offset=50) \
             if self.churn else None
         return UpdateSimulator(self.loaded_network(), self.provider,

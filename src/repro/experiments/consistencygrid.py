@@ -1,0 +1,224 @@
+"""Consistency-mode sweep (``repro consistency-grid``).
+
+Sweeps the plan-compilation knobs of :mod:`repro.core.compile` —
+``atomic`` / ``staged`` / ``augmented(ε)`` — across scheduler policies on
+one frozen workload, measuring what consistency costs and what the ε
+augmentation buys back:
+
+* **cost parity** — staged execution replays the identical settled steps,
+  so each scheduler's total update cost must match its own atomic run
+  exactly (churn is off: with no drift between planning and execution the
+  compiled order is the plan order). ``cost_delta`` makes the claim a
+  column.
+* **stage-count distribution** — how long the strict congestion-free
+  schedules are, and how ε collapses them (``avg_stages`` /
+  ``max_stage`` / the per-cell histogram in the measurements).
+* **one-shot-safe fraction** — events whose plan compiles to a single
+  stage even under strict congestion-freedom; the complement is exactly
+  the traffic the paper's one-shot abstraction would push through
+  transient over-subscription.
+* **ECT impact** — per-stage install latency charges real simulated time,
+  so consistency shows up in average ECT, not just in stage counts.
+
+Every grid cell runs through the PR-2 cell runner
+(:func:`repro.experiments.runner.run_cells`): ``--jobs N`` fans cells out
+to worker processes, ``--resume`` reuses checkpointed cells. The CLI
+merges the measurements into a ``BENCH_<pr>.json`` snapshot under the
+``consistency_grid`` key (``--out``), which
+``scripts/bench_snapshot.py --check`` validates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments.common import DEFAULTS, Scenario
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import Cell, SweepListener, run_cells
+from repro.traces.events import EventGeneratorConfig
+
+#: Default sweep: the three modes, one ε point, both event-level policies.
+MODES = ("atomic", "staged", "augmented")
+EPSILONS = (0.1,)
+SCHEDULERS = ("lmtf", "plmtf")
+
+
+def scheduler_spec(kind: str, alpha: int, seed: int,
+                   mode: str, epsilon: float) -> dict:
+    """The scheduler spec one grid cell runs.
+
+    The staged variants predict schedule lengths under the cell's own
+    compile mode; under ``atomic`` they predict strict ``staged``
+    schedules (an atomic-mode compiler never produces a tie-break
+    signal).
+    """
+    if kind == "fifo":
+        return {"kind": "fifo"}
+    if kind in ("lmtf", "plmtf"):
+        return {"kind": kind, "alpha": alpha, "seed": seed + 9}
+    if kind in ("staged-lmtf", "staged-plmtf"):
+        if mode == "augmented":
+            return {"kind": kind, "alpha": alpha, "seed": seed + 9,
+                    "mode": "augmented", "epsilon": epsilon}
+        return {"kind": kind, "alpha": alpha, "seed": seed + 9,
+                "mode": "staged"}
+    raise ValueError(f"unsupported grid scheduler {kind!r}; pick one of "
+                     f"fifo, lmtf, plmtf, staged-lmtf, staged-plmtf")
+
+
+def consistency_grid_cell(mode: str, epsilon: float, scheduler_kind: str,
+                          events: int = 20, utilization: float = 0.85,
+                          seed: int = 0, alpha: int = 4, k: int = 4,
+                          min_flows: int = 3, max_flows: int = 8,
+                          audit: bool = False) -> dict:
+    """One grid cell: a full batch run under one compile configuration.
+
+    Churn is deliberately off: without drift between planning and
+    execution the compiled step order equals the plan order, so the cell's
+    total cost is byte-comparable to the same scheduler's atomic cell —
+    the cost-parity claim the snapshot checker asserts.
+
+    Returns a JSON-serializable measurement dict (the checkpoint/merge
+    payload of the cell runner).
+    """
+    from repro.sched import build_scheduler
+    from repro.sim.simulator import SimulationConfig, UpdateSimulator
+
+    scenario = Scenario(
+        utilization=utilization, seed=seed, events=events, churn=False,
+        event_config=EventGeneratorConfig(min_flows=min_flows,
+                                          max_flows=max_flows),
+        defaults=replace(DEFAULTS, k=k))
+    queue = scenario.generate_events()
+    scheduler = build_scheduler(
+        scheduler_spec(scheduler_kind, alpha, seed, mode, epsilon))
+    config = SimulationConfig(
+        seed=seed + 5, compile_mode=mode,
+        compile_epsilon=epsilon if mode == "augmented" else 0.0)
+    sim = UpdateSimulator(scenario.loaded_network(), scenario.provider,
+                          scheduler, timing=scenario.timing(),
+                          config=config, audit=audit)
+    sim.submit(queue)
+    metrics = sim.run()
+    stages = metrics.per_event_stages
+    histogram: dict[str, int] = {}
+    for count in stages:
+        histogram[str(count)] = histogram.get(str(count), 0) + 1
+    return {
+        "mode": mode,
+        "epsilon": epsilon if mode == "augmented" else 0.0,
+        "scheduler_kind": scheduler_kind,
+        "scheduler": scheduler.name,
+        "events": len(stages),
+        "total_cost": metrics.total_cost,
+        "average_ect": metrics.average_ect,
+        "total_stages": metrics.total_stages,
+        "max_stage_count": metrics.max_stage_count,
+        "avg_stages": (round(metrics.total_stages / len(stages), 3)
+                       if stages else 0.0),
+        "stage_histogram": histogram,
+        "one_shot_safe": (round(sum(1 for s in stages if s <= 1)
+                                / len(stages), 3) if stages else 1.0),
+        "max_transient_overload": metrics.max_transient_overload,
+        "compile_epsilon": metrics.compile_epsilon,
+        "total_migrations": metrics.total_migrations,
+        "audited": bool(audit),
+    }
+
+
+def _grid_points(modes, epsilons) -> list[tuple[str, float]]:
+    """The (mode, ε) points of the sweep; ε varies only under augmented."""
+    points: list[tuple[str, float]] = []
+    for mode in modes:
+        if mode == "augmented":
+            points.extend(("augmented", eps) for eps in epsilons)
+        else:
+            points.append((mode, 0.0))
+    return points
+
+
+def run_consistency_grid(modes=MODES, epsilons=EPSILONS,
+                         schedulers=SCHEDULERS, events: int = 20,
+                         utilization: float = 0.85, seed: int = 0,
+                         alpha: int | None = None, k: int = 4,
+                         min_flows: int = 3, max_flows: int = 8,
+                         audit: bool = False, jobs: int | None = None,
+                         checkpoint=None, resume: bool = False,
+                         listener: SweepListener | None = None,
+                         ) -> ExperimentResult:
+    """Run the (mode × ε × scheduler) grid through the cell runner.
+
+    ``cost_delta`` is each cell's total cost minus the same scheduler's
+    atomic cost (blank when the grid carries no atomic cell for that
+    scheduler) — the cost-parity claim as a column.
+    """
+    alpha = alpha if alpha is not None else DEFAULTS.alpha
+    points = _grid_points(modes, epsilons)
+    cells = [
+        Cell(key=f"mode={mode}/eps={eps}/sched={kind}",
+             fn="repro.experiments.consistencygrid:consistency_grid_cell",
+             params={"mode": mode, "epsilon": eps, "scheduler_kind": kind,
+                     "events": events, "utilization": utilization,
+                     "seed": seed, "alpha": alpha, "k": k,
+                     "min_flows": min_flows, "max_flows": max_flows,
+                     "audit": audit})
+        for mode, eps in points
+        for kind in schedulers
+    ]
+    outcomes = run_cells(cells, jobs=jobs or 1, checkpoint=checkpoint,
+                         resume=resume, listener=listener)
+    measurements = [outcomes[cell.key].value for cell in cells]
+    baselines = {m["scheduler_kind"]: m["total_cost"]
+                 for m in measurements if m["mode"] == "atomic"}
+
+    result = ExperimentResult(
+        name="consistency-grid",
+        title=f"consistency-aware staged schedules on a {k}-ary Fat-Tree "
+              f"(~{utilization:.0%} load, {events} events)",
+        columns=["mode", "epsilon", "scheduler", "total_cost", "cost_delta",
+                 "avg_ect", "avg_stages", "max_stage", "one_shot_safe",
+                 "overload"],
+        params={"modes": list(modes), "epsilons": list(epsilons),
+                "schedulers": list(schedulers), "events": events,
+                "utilization": utilization, "seed": seed, "alpha": alpha,
+                "k": k, "min_flows": min_flows, "max_flows": max_flows})
+    for m in measurements:
+        base = baselines.get(m["scheduler_kind"])
+        delta = (round(m["total_cost"] - base, 6)
+                 if base is not None else None)
+        result.add_row(mode=m["mode"], epsilon=m["epsilon"],
+                       scheduler=m["scheduler"],
+                       total_cost=round(m["total_cost"], 1),
+                       cost_delta=delta,
+                       avg_ect=round(m["average_ect"], 2),
+                       avg_stages=m["avg_stages"],
+                       max_stage=m["max_stage_count"],
+                       one_shot_safe=m["one_shot_safe"],
+                       overload=round(m["max_transient_overload"], 4))
+    result.notes.append(
+        "churn is off in every cell, so staged/augmented execution replays "
+        "the plan order exactly and cost_delta must be 0 for the exact "
+        "schedulers; stages>1 shows up as ECT (per-stage install latency), "
+        "and overload stays <= epsilon under augmented mode.")
+    result.extras["measurements"] = measurements
+    return result
+
+
+def merge_snapshot(path: str | Path, result: ExperimentResult) -> Path:
+    """Merge the grid's measurements into ``path`` under
+    ``consistency_grid`` (existing keys — microbenchmarks, other grids —
+    are preserved; a missing file is created)."""
+    target = Path(path)
+    data: dict = {}
+    if target.exists():
+        data = json.loads(target.read_text(encoding="utf-8"))
+    data["consistency_grid"] = {
+        "params": result.params,
+        "measurements": result.extras["measurements"],
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target

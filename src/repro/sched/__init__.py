@@ -30,6 +30,7 @@ from repro.sched.lmtf import LMTFScheduler
 from repro.sched.oracle import OracleSJFScheduler
 from repro.sched.plmtf import PLMTFScheduler
 from repro.sched.shard import ShardedScheduler
+from repro.sched.staged import StagedLMTFScheduler, StagedPLMTFScheduler
 
 #: Spec ``kind`` -> scheduler class. The kind is the constructor's identity,
 #: not necessarily the instance's ``name`` (oracles embed their signal; the
@@ -42,6 +43,8 @@ SCHEDULER_KINDS: dict[str, type[Scheduler]] = {
     "oracle-sjf": OracleSJFScheduler,
     "sharded": ShardedScheduler,
     "learned": LearnedLMTFScheduler,
+    "staged-lmtf": StagedLMTFScheduler,
+    "staged-plmtf": StagedPLMTFScheduler,
 }
 
 _S = TypeVar("_S", bound=type[Scheduler])
@@ -135,6 +138,8 @@ __all__ = [
     "LearnedLMTFScheduler",
     "Scheduler",
     "ShardedScheduler",
+    "StagedLMTFScheduler",
+    "StagedPLMTFScheduler",
     "build_scheduler",
     "make_scheduler",
     "register_scheduler",

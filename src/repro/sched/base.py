@@ -103,6 +103,11 @@ class RoundDecision:
     summed pre-update absolute error (log1p-cost scale), and whether the
     round fell back to full probing. Exact schedulers leave them at their
     zero defaults.
+
+    ``predicted_stages`` maps admitted event ids to the compiled schedule
+    length the scheduler *predicted* when it tie-broke on short schedules
+    (:mod:`repro.sched.staged`); schedulers that never compile leave it
+    empty. Purely diagnostic — the executor recompiles authoritatively.
     """
 
     admissions: list[Admission] = field(default_factory=list)
@@ -115,6 +120,7 @@ class RoundDecision:
     prediction_error_sum: float = 0.0
     fallback: bool = False
     transitions: list[TransitionRecord] = field(default_factory=list)
+    predicted_stages: dict[str, int] = field(default_factory=dict)
 
     @property
     def empty(self) -> bool:

@@ -62,6 +62,13 @@ class SimulationConfig:
         repair_flow_duration: transmission duration given to the
             replacement flows of auto-generated repair events (stranded
             permanent background flows have none of their own).
+        compile_mode: plan-compilation mode handed to the executor —
+            ``atomic`` (default, the historical one-shot path bit for
+            bit), ``staged`` (congestion-free stages), or ``augmented``
+            (stages may transiently oversubscribe links by
+            ``compile_epsilon · capacity``).
+        compile_epsilon: the augmentation knob; must be 0 unless
+            ``compile_mode`` is ``augmented``.
         queue_snapshots: when True (default), each round snapshots the
             queue into a list for the scheduling context and reports the
             full waiting set in ``PostRound`` — the historical contract.
@@ -86,6 +93,8 @@ class SimulationConfig:
     max_deferrals: int | None = None
     repair_flow_duration: float = 30.0
     queue_snapshots: bool = True
+    compile_mode: str = "atomic"
+    compile_epsilon: float = 0.0
 
     def __post_init__(self) -> None:
         if self.round_barrier not in ("completion", "setup"):
@@ -96,3 +105,12 @@ class SimulationConfig:
             raise ValueError("max_deferrals must be >= 0 or None")
         if self.repair_flow_duration <= 0:
             raise ValueError("repair_flow_duration must be positive")
+        if self.compile_mode not in ("atomic", "staged", "augmented"):
+            raise ValueError(f"unknown compile_mode "
+                             f"{self.compile_mode!r}; pick 'atomic', "
+                             f"'staged' or 'augmented'")
+        if self.compile_epsilon < 0:
+            raise ValueError("compile_epsilon must be >= 0")
+        if self.compile_epsilon > 0 and self.compile_mode != "augmented":
+            raise ValueError("compile_epsilon > 0 requires "
+                             "compile_mode='augmented'")

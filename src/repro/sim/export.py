@@ -35,6 +35,9 @@ _COUNTERS = (
     ("events_deferred", "Deferrals charged (an event can defer repeatedly)."),
     ("rounds", "Scheduling rounds settled (empty rounds included)."),
     ("admissions", "Admissions that executed successfully."),
+    ("plan_stages",
+     "Compiled-plan stages applied across admissions (1 per atomic "
+     "admission; staged/augmented plans contribute their stage count)."),
     ("flows_finished", "Admitted flows that completed transmission."),
     ("exec_retries", "Failed execution attempts that were retried."),
     ("exec_failures", "Admissions whose execution failed terminally."),
@@ -115,6 +118,14 @@ _GAUGES = (
     ("prediction_fallback_active",
      "1 while the learned scheduler would full-probe the next round.",
      _fallback_active),
+    ("compile_epsilon",
+     "Transient over-subscription budget of the plan compiler "
+     "(0 under atomic/staged modes).",
+     lambda sim: float(sim.config.compile_epsilon)),
+    ("max_transient_overload",
+     "Worst fractional transient capacity overshoot any compiled stage "
+     "allowed so far (0 under atomic/staged modes).",
+     lambda sim: float(sim.metrics_collector.max_transient_overload)),
 )
 
 
@@ -156,7 +167,7 @@ class CounterExporter:
         bus.subscribe(_hooks.EventDeferred, self._count("events_deferred"))
         bus.subscribe(_hooks.PostRound, self._count("rounds"))
         bus.subscribe(_hooks.PreRound, self._on_pre_round)
-        bus.subscribe(_hooks.EventAdmitted, self._count("admissions"))
+        bus.subscribe(_hooks.EventAdmitted, self._on_admitted)
         bus.subscribe(_hooks.FlowFinished, self._count("flows_finished"))
         bus.subscribe(_hooks.ExecutionFailed, self._count("exec_failures"))
         bus.subscribe(_hooks.ExecutionRetried, self._on_retried)
@@ -168,6 +179,10 @@ class CounterExporter:
         def bump(_hook: _hooks.Hook) -> None:
             self._counts[name] += 1
         return bump
+
+    def _on_admitted(self, hook: _hooks.EventAdmitted) -> None:
+        self._counts["admissions"] += 1
+        self._counts["plan_stages"] += hook.stage_count
 
     def _on_retried(self, hook: _hooks.ExecutionRetried) -> None:
         self._counts["exec_retries"] += hook.retries
@@ -280,4 +295,5 @@ class StatsLine:
             f"{sim.pipeline.events_remaining - sim.pipeline.queue_depth} "
             f"completed={collector.completed_count} "
             f"dropped={collector.dropped_count} "
+            f"stages={collector.total_stages} "
             f"pending={sim.engine.pending}")

@@ -170,7 +170,14 @@ class PostRound(Hook):
 
 @dataclass(frozen=True, slots=True)
 class EventAdmitted(Hook):
-    """One admission executed successfully at ``exec_start``."""
+    """One admission executed successfully at ``exec_start``.
+
+    The defaulted fields are the plan-compilation telemetry
+    (:mod:`repro.core.compile`): how many stages the compiled schedule
+    applied (1 under the default atomic mode), the worst fractional
+    transient capacity overshoot any link saw, and the ε the plan was
+    compiled with.
+    """
 
     exec_start: float
     event_id: str
@@ -178,6 +185,9 @@ class EventAdmitted(Hook):
     migrations: int
     flows: int
     setup_done_time: float
+    stage_count: int = 1
+    max_transient_overload: float = 0.0
+    epsilon: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)

@@ -21,7 +21,13 @@ from repro.sim import hooks as _hooks
 
 @dataclass
 class EventRecord:
-    """Lifecycle timestamps and realized cost of one update event."""
+    """Lifecycle timestamps and realized cost of one update event.
+
+    ``stage_count`` sums the compiled schedule lengths of the event's
+    admissions (one admission, hence the plan's stage count, for
+    event-level schedulers); ``max_transient_overload`` is the worst
+    fractional capacity overshoot any of its stages caused.
+    """
 
     event_id: str
     arrival_time: float
@@ -34,6 +40,8 @@ class EventRecord:
     rounds_waited: int = 0
     deferrals: int = 0
     dropped: bool = False
+    stage_count: int = 0
+    max_transient_overload: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -117,6 +125,17 @@ class RunMetrics:
     prediction_samples: int = 0
     prediction_error_sum: float = 0.0
     fallback_rounds: int = 0
+    # Plan-compilation counters (:mod:`repro.core.compile`). Under the
+    # default atomic mode every admission is one stage, so
+    # ``total_stages`` equals the admission count and ``max_stage_count``
+    # is 1. ``per_event_stages`` aligns with the other per-event arrays
+    # (completed events, arrival order). ``compile_epsilon`` echoes the
+    # augmentation knob the run executed with.
+    total_stages: int = 0
+    max_stage_count: int = 0
+    max_transient_overload: float = 0.0
+    compile_epsilon: float = 0.0
+    per_event_stages: tuple[int, ...] = ()
 
     @property
     def probe_cache_hit_rate(self) -> float:
@@ -136,7 +155,8 @@ class RunMetrics:
         """JSON-serializable representation (tuples become lists)."""
         from dataclasses import asdict
         data = asdict(self)
-        for key in ("per_event_ect", "per_event_delay", "per_event_cost"):
+        for key in ("per_event_ect", "per_event_delay", "per_event_cost",
+                    "per_event_stages"):
             data[key] = list(data[key])
         data["probe_cache_hit_rate"] = self.probe_cache_hit_rate
         data["mean_prediction_error"] = self.mean_prediction_error
@@ -154,8 +174,10 @@ class RunMetrics:
         payload = dict(data)
         payload.pop("probe_cache_hit_rate", None)  # derived property
         payload.pop("mean_prediction_error", None)  # derived property
-        for key in ("per_event_ect", "per_event_delay", "per_event_cost"):
-            payload[key] = tuple(payload[key])
+        for key in ("per_event_ect", "per_event_delay", "per_event_cost",
+                    "per_event_stages"):
+            if key in payload:  # pre-compilation payloads lack the stages
+                payload[key] = tuple(payload[key])
         return cls(**payload)
 
     def summary(self) -> str:
@@ -203,6 +225,10 @@ class MetricsCollector:
         self._prediction_samples = 0
         self._prediction_error_sum = 0.0
         self._fallback_rounds = 0
+        self._total_stages = 0
+        self._max_stage_count = 0
+        self._max_transient_overload = 0.0
+        self._compile_epsilon = 0.0
 
     # --------------------------------------------------------------- record
 
@@ -243,12 +269,22 @@ class MetricsCollector:
         if record.exec_start_time is None:
             record.exec_start_time = time
 
-    def on_admission(self, event_id: str, cost: float,
-                     migrations: int) -> None:
+    def on_admission(self, event_id: str, cost: float, migrations: int,
+                     stage_count: int = 1,
+                     max_transient_overload: float = 0.0,
+                     epsilon: float = 0.0) -> None:
         """Accumulate realized plan cost; called once per admission."""
         record = self._record(event_id)
         record.cost += cost
         record.migrations += migrations
+        record.stage_count += stage_count
+        record.max_transient_overload = max(record.max_transient_overload,
+                                            max_transient_overload)
+        self._total_stages += stage_count
+        self._max_stage_count = max(self._max_stage_count, stage_count)
+        self._max_transient_overload = max(self._max_transient_overload,
+                                           max_transient_overload)
+        self._compile_epsilon = max(self._compile_epsilon, epsilon)
 
     def on_setup_done(self, event_id: str, time: float) -> None:
         self._record(event_id).setup_done_time = time
@@ -324,6 +360,10 @@ class MetricsCollector:
             "prediction_samples": self._prediction_samples,
             "prediction_error_sum": self._prediction_error_sum,
             "fallback_rounds": self._fallback_rounds,
+            "total_stages": self._total_stages,
+            "max_stage_count": self._max_stage_count,
+            "max_transient_overload": self._max_transient_overload,
+            "compile_epsilon": self._compile_epsilon,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -350,6 +390,12 @@ class MetricsCollector:
         self._prediction_samples = int(state["prediction_samples"])
         self._prediction_error_sum = state["prediction_error_sum"]
         self._fallback_rounds = int(state["fallback_rounds"])
+        # .get(): checkpoints written before plan compilation lack these.
+        self._total_stages = int(state.get("total_stages", 0))
+        self._max_stage_count = int(state.get("max_stage_count", 0))
+        self._max_transient_overload = state.get(
+            "max_transient_overload", 0.0)
+        self._compile_epsilon = state.get("compile_epsilon", 0.0)
 
     # ------------------------------------------------------------- finalize
 
@@ -380,6 +426,16 @@ class MetricsCollector:
     def round_count(self) -> int:
         """Rounds accounted so far (empty rounds included)."""
         return self._rounds
+
+    @property
+    def total_stages(self) -> int:
+        """Compiled stages applied so far (exporter gauge)."""
+        return self._total_stages
+
+    @property
+    def max_transient_overload(self) -> float:
+        """Worst fractional transient overshoot seen (exporter gauge)."""
+        return self._max_transient_overload
 
     def incomplete_events(self) -> list[str]:
         """Events neither completed nor dropped — a drained run must have
@@ -434,6 +490,11 @@ class MetricsCollector:
             prediction_samples=self._prediction_samples,
             prediction_error_sum=self._prediction_error_sum,
             fallback_rounds=self._fallback_rounds,
+            total_stages=self._total_stages,
+            max_stage_count=self._max_stage_count,
+            max_transient_overload=self._max_transient_overload,
+            compile_epsilon=self._compile_epsilon,
+            per_event_stages=tuple(r.stage_count for r in records),
         )
 
 
@@ -475,8 +536,11 @@ class MetricsSubscriber:
 
     def _on_admitted(self, hook: "_hooks.EventAdmitted") -> None:
         self._collector.on_exec_start(hook.event_id, hook.exec_start)
-        self._collector.on_admission(hook.event_id, hook.cost,
-                                     hook.migrations)
+        self._collector.on_admission(
+            hook.event_id, hook.cost, hook.migrations,
+            stage_count=hook.stage_count,
+            max_transient_overload=hook.max_transient_overload,
+            epsilon=hook.epsilon)
         self._collector.on_setup_done(hook.event_id, hook.setup_done_time)
 
     def _on_completed(self, hook: "_hooks.EventCompleted") -> None:

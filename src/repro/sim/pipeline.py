@@ -75,7 +75,10 @@ class RoundLog:
     the round (all zero for schedulers without a probe cache); benchmarks
     use them to report per-round hit rates. ``probes_skipped``/``fallback``
     mirror the learned-ranking telemetry the same way (zero/False for
-    exact schedulers).
+    exact schedulers). ``total_stages``/``max_transient_overload`` mirror
+    the plan-compilation telemetry: summed compiled stages over the
+    round's successful admissions (one per admission under atomic mode)
+    and the worst fractional transient capacity overshoot among them.
     """
 
     index: int
@@ -89,6 +92,8 @@ class RoundLog:
     cache_invalidations: int = 0
     probes_skipped: int = 0
     fallback: bool = False
+    total_stages: int = 0
+    max_transient_overload: float = 0.0
 
 
 class RoundPipeline:
@@ -226,8 +231,10 @@ class RoundPipeline:
         plan_time = self._timing.plan_time(decision.planning_ops)
         if not self._admit(ctx, decision, plan_time, scope):
             return
-        admitted, total_cost, round_end = self._execute(decision, plan_time)
-        self._settle(decision, plan_time, admitted, total_cost, round_end)
+        admitted, total_cost, round_end, stages, overload = \
+            self._execute(decision, plan_time)
+        self._settle(decision, plan_time, admitted, total_cost, round_end,
+                     total_stages=stages, max_transient_overload=overload)
         self._account()
 
     def _collect(self) -> SchedulingContext:
@@ -323,12 +330,13 @@ class RoundPipeline:
             return False
         return True
 
-    def _execute(self, decision: RoundDecision,
-                 plan_time: float) -> tuple[list[str], float, float]:
+    def _execute(self, decision: RoundDecision, plan_time: float,
+                 ) -> tuple[list[str], float, float, int, float]:
         """Stage 4 — apply the admitted plans and schedule flow finishes.
 
-        Returns ``(admitted_ids, total_cost, round_end)`` for the settle
-        stage; execution failures defer their events in place.
+        Returns ``(admitted_ids, total_cost, round_end, total_stages,
+        max_transient_overload)`` for the settle stage; execution failures
+        defer their events in place.
         """
         setup_barrier = self._config.round_barrier == "setup"
         now = self._engine.now
@@ -336,6 +344,8 @@ class RoundPipeline:
         admitted_ids: list[str] = []
         total_cost = 0.0
         round_end = exec_start
+        total_stages = 0
+        max_overload = 0.0
         for admission in decision.admissions:
             event_id = admission.queued.event.event_id
             self._advance(event_id, EventState.EXECUTING, now)
@@ -354,12 +364,18 @@ class RoundPipeline:
             admitted_ids.append(event_id)
             total_cost += admission.plan.cost
             round_end = max(round_end, record.finish_setup_time)
+            total_stages += record.stage_count
+            max_overload = max(max_overload,
+                               record.max_transient_overload)
             self._hooks.emit(EventAdmitted(
                 exec_start=exec_start, event_id=event_id,
                 cost=admission.plan.cost,
                 migrations=admission.plan.migration_count,
                 flows=len(admission.plan.flow_plans),
-                setup_done_time=record.finish_setup_time))
+                setup_done_time=record.finish_setup_time,
+                stage_count=record.stage_count,
+                max_transient_overload=record.max_transient_overload,
+                epsilon=record.epsilon))
             admitted_flow_ids = set()
             for flow_plan in admission.plan.flow_plans:
                 flow = flow_plan.flow
@@ -390,11 +406,12 @@ class RoundPipeline:
                 # Partial admission (flow-level baseline): the event keeps
                 # queueing with its remaining flows.
                 self._advance(event_id, EventState.QUEUED, now)
-        return admitted_ids, total_cost, round_end
+        return admitted_ids, total_cost, round_end, total_stages, max_overload
 
     def _settle(self, decision: RoundDecision, plan_time: float,
                 admitted_ids: list[str], total_cost: float,
-                round_end: float) -> None:
+                round_end: float, total_stages: int = 0,
+                max_transient_overload: float = 0.0) -> None:
         """Stage 5 — log the round, charge queue waits, arm the barrier.
 
         The round log is appended *before* PostRound goes out so that
@@ -404,7 +421,8 @@ class RoundPipeline:
         """
         setup_barrier = self._config.round_barrier == "setup"
         self._log_round(decision, plan_time, admitted_ids=admitted_ids,
-                        total_cost=total_cost)
+                        total_cost=total_cost, total_stages=total_stages,
+                        max_transient_overload=max_transient_overload)
         self._hooks.emit(PostRound(
             now=self._engine.now, index=self._round_index,
             waiting=self._waiting_snapshot()))
@@ -420,7 +438,8 @@ class RoundPipeline:
 
     def _log_round(self, decision: RoundDecision, plan_time: float,
                    admitted_ids: tuple[str, ...] | list[str],
-                   total_cost: float) -> None:
+                   total_cost: float, total_stages: int = 0,
+                   max_transient_overload: float = 0.0) -> None:
         """Append the :class:`RoundLog` for the round just decided.
 
         Every round that emitted PreRound must land here exactly once —
@@ -435,7 +454,9 @@ class RoundPipeline:
             cache_misses=decision.cache_misses,
             cache_invalidations=decision.cache_invalidations,
             probes_skipped=decision.probes_skipped,
-            fallback=decision.fallback))
+            fallback=decision.fallback,
+            total_stages=total_stages,
+            max_transient_overload=max_transient_overload))
 
     def _waiting_snapshot(self) -> tuple[str, ...] | None:
         """PostRound's ``waiting`` payload: the queued event ids, or None.

@@ -653,6 +653,17 @@ class SimulationService:
                 f"checkpoint was written by scheduler "
                 f"{checkpoint['scheduler']!r} but this service runs "
                 f"{sim.scheduler.name!r}; resume with the original spec")
+        # Tolerant read: checkpoints written before plan compilation
+        # existed carry no "compile" key and imply the atomic default.
+        compiled = checkpoint.get("compile") or {"mode": "atomic",
+                                                 "epsilon": 0.0}
+        ours = {"mode": sim.config.compile_mode,
+                "epsilon": sim.config.compile_epsilon}
+        if compiled != ours:
+            raise RecoveryError(
+                f"checkpoint was written under compile config {compiled!r} "
+                f"but this service runs {ours!r}; staged execution changes "
+                f"the schedule — resume with the original spec")
         prefix_count = int(checkpoint["journal"]["records"])
         offset = int(checkpoint["journal"]["offset"])
         if scan.valid_size < offset or len(scan.records) < prefix_count:

@@ -31,6 +31,7 @@ import math
 import os
 import random
 
+from repro.core.compile import PlanCompilerConfig
 from repro.core.event import UpdateEvent
 from repro.core.exceptions import SimulationError
 from repro.core.executor import PlanExecutor, RetryPolicy
@@ -109,12 +110,17 @@ class UpdateSimulator:
         self._config = config or SimulationConfig()
         self._hooks = HookBus()
         self._lifecycle = EventLifecycle()
+        compiler = None
+        if self._config.compile_mode != "atomic":
+            compiler = PlanCompilerConfig(
+                mode=self._config.compile_mode,
+                epsilon=self._config.compile_epsilon)
         self._executor = PlanExecutor(
             self._timing, control_plane=control_plane,
             retry=RetryPolicy(max_retries=self._config.exec_max_retries,
                               backoff_s=self._config.exec_backoff_s,
                               deadline_s=self._config.exec_deadline_s),
-            hooks=self._hooks)
+            hooks=self._hooks, compiler=compiler)
         if (self._config.background_churn and self._config.churn_respawn
                 and churn_trace is None):
             raise ValueError("background_churn with churn_respawn requires "

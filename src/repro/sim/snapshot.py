@@ -82,6 +82,8 @@ def build_checkpoint(service: "SimulationService", origin: str,
         "version": CHECKPOINT_VERSION,
         "origin": origin,
         "scheduler": sim.scheduler.name,
+        "compile": {"mode": sim.config.compile_mode,
+                    "epsilon": sim.config.compile_epsilon},
         "engine": sim.engine.export_state(),
         "pipeline": sim.pipeline.export_state(),
         "lifecycle": sim.lifecycle.export_state(),

@@ -50,7 +50,7 @@ class TimingModel:
     drain_s_per_mbps: float = 0.004
     plan_s_per_op: float = 2e-5
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for name in ("rule_install_s", "migration_rule_s",
                      "drain_s_per_mbps", "plan_s_per_op"):
             if getattr(self, name) < 0:
@@ -65,13 +65,20 @@ class TimingModel:
             total += self.drain_s_per_mbps * migration.migrated_traffic
         return total
 
-    def install_time(self, flow_count: int) -> float:
-        """Seconds to install rules for ``flow_count`` event flows."""
+    def install_time(self, flow_count: int, stages: int = 1) -> float:
+        """Seconds to install rules for ``flow_count`` event flows.
+
+        ``stages`` is the compiled schedule length: each stage beyond the
+        first is a separate synchronized rule-install round trip, so a
+        staged update pays one extra ``rule_install_s`` per extra stage —
+        schedule length costs simulated time. ``stages=1`` (atomic) is the
+        historical charge, bit for bit.
+        """
         if flow_count <= 0:
             return 0.0
-        if self.parallel_install:
-            return self.rule_install_s
-        return self.rule_install_s * flow_count
+        base = (self.rule_install_s if self.parallel_install
+                else self.rule_install_s * flow_count)
+        return base + self.rule_install_s * max(0, stages - 1)
 
     def plan_time(self, planning_ops: int) -> float:
         """Seconds the controller spends computing a plan of this size."""

@@ -1,0 +1,187 @@
+"""Property-based tests for the plan compiler (:mod:`repro.core.compile`).
+
+Core contracts: (1) stage-by-stage execution of a compiled plan lands on
+the *same final state* as the atomic one-shot application, (2) no stage's
+transient load — recomputed here independently of the compiler's own
+bookkeeping — exceeds ``(1 + ε) · capacity`` when compiling against the
+state the plan was computed on, and (3) the default ``atomic`` mode
+compiles to exactly one stage carrying the plan's steps verbatim.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import (  # noqa: E402
+    BG_BOT,
+    BG_TOP,
+    EF_BOT,
+    EF_TOP,
+    cd_flow,
+    diamond_topology,
+    ef_flow,
+)
+
+from repro.core.compile import PlanCompilerConfig, compile_plan
+from repro.core.event import make_event
+from repro.core.executor import apply_plan, apply_stages
+from repro.core.flow import Flow
+from repro.core.ordering import StepKind, plan_steps
+from repro.core.planner import EventPlanner
+from repro.network.link import path_links
+from repro.network.routing.provider import PathProvider
+
+TOPO = diamond_topology()
+PROVIDER = PathProvider(TOPO)
+
+
+def loaded_network(bg_top: float, bg_bot: float, ef_top: float,
+                   ef_bot: float):
+    network = TOPO.network()
+    if bg_top > 0:
+        network.place(cd_flow("bgt", bg_top), BG_TOP)
+    if bg_bot > 0:
+        network.place(cd_flow("bgb", bg_bot), BG_BOT)
+    if ef_top > 0:
+        network.place(ef_flow("eft", ef_top), EF_TOP)
+    if ef_bot > 0:
+        network.place(ef_flow("efb", ef_bot), EF_BOT)
+    return network
+
+
+def planned(bg, demands, seed):
+    """A feasible plan against a loaded diamond, or ``(None, None)``."""
+    network = loaded_network(*bg)
+    planner = EventPlanner(PROVIDER)
+    flows = [Flow(flow_id=f"u{i}", src="a", dst="b", demand=d,
+                  duration=1.0) for i, d in enumerate(demands)]
+    plan = planner.plan_event(network, make_event(flows),
+                              random.Random(seed))
+    return (network, plan) if plan.feasible else (None, None)
+
+
+def step_additions(step):
+    """A step's in-flight per-link load, derived from first principles:
+    a migrated flow holds both paths until the stage settles, a placed
+    flow sends on its whole path immediately."""
+    added = {}
+    if step.kind is StepKind.MIGRATE:
+        old = frozenset(path_links(step.payload.old_path))
+        links = [link for link in path_links(step.path) if link not in old]
+    else:
+        links = list(path_links(step.path))
+    for link in links:
+        added[link] = added.get(link, 0.0) + step.demand
+    return added
+
+
+def step_settled_shift(step):
+    """A step's steady-state per-link load shift once its stage commits."""
+    shift = {}
+    if step.kind is StepKind.MIGRATE:
+        old = frozenset(path_links(step.payload.old_path))
+        new = frozenset(path_links(step.payload.new_path))
+        for link in new - old:
+            shift[link] = shift.get(link, 0.0) + step.demand
+        for link in old - new:
+            shift[link] = shift.get(link, 0.0) - step.demand
+    else:
+        for link in path_links(step.path):
+            shift[link] = shift.get(link, 0.0) + step.demand
+    return shift
+
+
+background = st.tuples(
+    st.floats(min_value=0.0, max_value=49.0),
+    st.floats(min_value=0.0, max_value=49.0),
+    st.floats(min_value=0.0, max_value=49.0),
+    st.floats(min_value=0.0, max_value=49.0),
+)
+
+event_demands = st.lists(st.floats(min_value=1.0, max_value=45.0),
+                         min_size=1, max_size=4)
+
+compile_configs = st.one_of(
+    st.just(PlanCompilerConfig(mode="staged")),
+    st.floats(min_value=0.0, max_value=0.5).map(
+        lambda eps: PlanCompilerConfig(mode="augmented", epsilon=eps)),
+)
+
+
+class TestCompileProperties:
+    @given(bg=background, demands=event_demands,
+           seed=st.integers(min_value=0, max_value=10),
+           config=compile_configs)
+    @settings(max_examples=80, deadline=None)
+    def test_staged_execution_matches_atomic(self, bg, demands, seed,
+                                             config):
+        """Stage-by-stage application reaches the atomic final state."""
+        atomic_net, plan = planned(bg, demands, seed)
+        if plan is None:
+            return
+        staged_net = loaded_network(*bg)  # identical twin state
+        compiled = compile_plan(staged_net, plan, config)
+        rerouted_atomic = apply_plan(atomic_net, plan)
+        rerouted_staged = apply_stages(staged_net, compiled)
+        assert sorted(rerouted_staged) == sorted(rerouted_atomic)
+        assert set(staged_net.flow_ids()) == set(atomic_net.flow_ids())
+        for flow_id in atomic_net.flow_ids():
+            assert staged_net.placement(flow_id).path \
+                == atomic_net.placement(flow_id).path
+        for link in atomic_net.links():
+            assert staged_net.used(*link) \
+                == pytest.approx(atomic_net.used(*link))
+        staged_net.check_invariants()
+        # The compiled steps are a permutation of the plan's own steps.
+        assert sorted((s.kind.value, s.flow_id) for s in compiled.steps) \
+            == sorted((s.kind.value, s.flow_id) for s in plan_steps(plan))
+
+    @given(bg=background, demands=event_demands,
+           seed=st.integers(min_value=0, max_value=10),
+           config=compile_configs)
+    @settings(max_examples=80, deadline=None)
+    def test_no_stage_exceeds_augmented_capacity(self, bg, demands, seed,
+                                                 config):
+        """Every stage's transient load, recomputed independently, stays
+        within ``(1 + ε) · capacity`` (ε = 0 under strict staging)."""
+        network, plan = planned(bg, demands, seed)
+        if plan is None:
+            return
+        compiled = compile_plan(network, plan, config)
+        settled = {link: network.used(*link) for link in network.links()}
+        for stage in compiled.stages:
+            transient = dict(settled)
+            for step in stage.steps:
+                for link, add in step_additions(step).items():
+                    transient[link] = transient.get(link, 0.0) + add
+            for link, load in transient.items():
+                cap = network.capacity(*link)
+                assert load <= (1.0 + config.epsilon) * cap + 1e-6
+            assert stage.transient_overload <= config.epsilon + 1e-9
+            for step in stage.steps:
+                for link, shift in step_settled_shift(step).items():
+                    settled[link] = settled.get(link, 0.0) + shift
+        # The settled walk must land on the plan's own final loads.
+        apply_plan(network, plan)
+        for link in network.links():
+            assert settled.get(link, 0.0) \
+                == pytest.approx(network.used(*link))
+
+    @given(bg=background, demands=event_demands,
+           seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_atomic_is_exactly_one_stage(self, bg, demands, seed):
+        network, plan = planned(bg, demands, seed)
+        if plan is None:
+            return
+        for config in (None, PlanCompilerConfig()):
+            compiled = compile_plan(network, plan, config)
+            assert compiled.mode == "atomic"
+            assert compiled.stage_count == 1
+            assert [(s.kind.value, s.flow_id) for s in compiled.steps] \
+                == [(s.kind.value, s.flow_id) for s in plan_steps(plan)]

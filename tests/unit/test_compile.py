@@ -1,0 +1,260 @@
+"""Unit tests for the plan compiler, staged execution, and tie-breaking.
+
+The hypothesis suite (``tests/property/test_compile_properties.py``) covers
+the compiler's invariants over random workloads; these tests pin the exact
+behavior on one hand-built scenario — config validation, stage boundaries,
+the augmented merge, whole-plan rollback, per-stage timing charges, and the
+staged schedulers' cost-tie stage-count preference.
+"""
+
+import random
+import sys
+import types
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import BG_BOT, BG_TOP, TOP, ab_flow, cd_flow, diamond_setup  # noqa: E402
+
+from repro.core.compile import (
+    COMPILE_MODES,
+    PlanCompilerConfig,
+    compile_plan,
+)
+from repro.core.event import make_event
+from repro.core.exceptions import PlacementError
+from repro.core.executor import PlanExecutor, apply_plan, apply_stages
+from repro.core.ordering import plan_steps
+from repro.core.plan import EventPlan, FlowPlan
+from repro.core.planner import EventPlanner
+from repro.sched.base import QueuedEvent
+from repro.sched.staged import StagedLMTFScheduler, StagedPLMTFScheduler
+from repro.sim.timing import TimingModel
+
+
+@pytest.fixture()
+def planned():
+    """(network, provider, plan) where the plan needs one migration.
+
+    Background: 45 units a-top (``bgt``), 10 units a-bot (``bgb``); the
+    event flow wants 60 on the 100-capacity diamond, so the planner must
+    move ``bgt`` to the bottom path first. One-shot application transiently
+    holds both flows on the top links (105/100), so staged compilation
+    splits the plan at exactly that boundary.
+    """
+    net, provider = diamond_setup()
+    net.place(cd_flow("bgt", 45.0), BG_TOP)
+    net.place(cd_flow("bgb", 10.0), BG_BOT)
+    planner = EventPlanner(provider)
+    event = make_event([ab_flow("f1", 60.0)])
+    plan = planner.plan_event(net, event, random.Random(1), commit=False)
+    assert plan.feasible and plan.cost == 45.0
+    return net, provider, plan
+
+
+class TestConfigValidation:
+    def test_defaults_are_atomic(self):
+        config = PlanCompilerConfig()
+        assert config.mode == "atomic" and config.epsilon == 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown compile mode"):
+            PlanCompilerConfig(mode="eventual")
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            PlanCompilerConfig(mode="augmented", epsilon=-0.1)
+
+    @pytest.mark.parametrize("mode", ["atomic", "staged"])
+    def test_epsilon_requires_augmented(self, mode):
+        with pytest.raises(ValueError, match="augmented"):
+            PlanCompilerConfig(mode=mode, epsilon=0.1)
+
+    def test_all_modes_construct(self):
+        for mode in COMPILE_MODES:
+            assert PlanCompilerConfig(mode=mode).mode == mode
+
+
+class TestCompile:
+    def test_atomic_is_one_stage_with_overshoot_recorded(self, planned):
+        net, _, plan = planned
+        compiled = compile_plan(net, plan)  # None config == atomic
+        assert compiled.mode == "atomic"
+        assert compiled.stage_count == 1
+        assert compiled.stages[0].steps == tuple(plan_steps(plan))
+        # One-shot application holds bgt and f1 on top simultaneously:
+        # 105 on a 100-capacity link.
+        assert compiled.max_transient_overload == pytest.approx(0.05)
+
+    def test_atomic_one_shot_safe_records_zero(self, planned):
+        net, provider, _ = planned
+        planner = EventPlanner(provider)
+        event = make_event([ab_flow("tiny", 10.0)])
+        plan = planner.plan_event(net, event, random.Random(1), commit=False)
+        assert plan.cost == 0.0
+        compiled = compile_plan(net, plan)
+        assert compiled.stage_count == 1
+        assert compiled.max_transient_overload == 0.0
+
+    def test_staged_splits_at_the_transient_conflict(self, planned):
+        net, _, plan = planned
+        compiled = compile_plan(net, plan,
+                                PlanCompilerConfig(mode="staged"))
+        # Stage 1 drains bgt to the bottom path; stage 2 installs f1 once
+        # the top links are genuinely free. No stage oversubscribes.
+        assert compiled.stage_count == 2
+        assert [s.kind.value for s in compiled.stages[0].steps] == ["migrate"]
+        assert [s.kind.value for s in compiled.stages[1].steps] == ["place"]
+        assert compiled.max_transient_overload == 0.0
+        # Stage-by-stage steps are the plan order, just partitioned.
+        assert compiled.steps == tuple(plan_steps(plan))
+
+    def test_augmented_merges_within_epsilon(self, planned):
+        net, _, plan = planned
+        compiled = compile_plan(
+            net, plan, PlanCompilerConfig(mode="augmented", epsilon=0.1))
+        # The 5% transient overshoot fits the 10% budget: one stage.
+        assert compiled.stage_count == 1
+        assert compiled.epsilon == 0.1
+        assert compiled.max_transient_overload == pytest.approx(0.05)
+
+    def test_augmented_below_the_overshoot_still_splits(self, planned):
+        net, _, plan = planned
+        compiled = compile_plan(
+            net, plan, PlanCompilerConfig(mode="augmented", epsilon=0.01))
+        assert compiled.stage_count == 2
+        assert compiled.max_transient_overload == 0.0
+
+    def test_compile_is_read_only(self, planned):
+        net, _, plan = planned
+        before = {lk: net.used(*lk) for lk in net.links()}
+        compile_plan(net, plan, PlanCompilerConfig(mode="staged"))
+        assert {lk: net.used(*lk) for lk in net.links()} == before
+        net.check_invariants()
+
+
+class TestApplyStages:
+    def test_staged_final_state_matches_atomic(self, planned):
+        net, _, plan = planned
+        compiled = compile_plan(net, plan,
+                                PlanCompilerConfig(mode="staged"))
+        rerouted = apply_stages(net, compiled)
+        assert rerouted == ["bgt"]
+        assert net.placement("bgt").path == BG_BOT
+        assert net.placement("f1").path == TOP
+        net.check_invariants()
+
+    def test_failure_in_late_stage_rolls_back_earlier_stages(self, planned):
+        net, _, plan = planned
+        compiled = compile_plan(net, plan,
+                                PlanCompilerConfig(mode="staged"))
+        assert compiled.stage_count == 2
+        # Invalidate stage 2 only: a thief takes the top capacity f1
+        # needs, while stage 1's migration to the bottom path still fits.
+        net.place(ab_flow("thief", 50.0), TOP)
+        with pytest.raises(PlacementError):
+            apply_stages(net, compiled)
+        # Whole-plan rollback: the stage-1 migration was undone too.
+        assert net.placement("bgt").path == BG_TOP
+        assert not net.has_flow("f1")
+        net.check_invariants()
+
+
+class TestExecutorCompiled:
+    def test_atomic_compiler_normalized_away(self):
+        executor = PlanExecutor(compiler=PlanCompilerConfig())
+        assert executor.compiler is None
+
+    def test_record_carries_stage_telemetry(self, planned):
+        net, _, plan = planned
+        timing = TimingModel()
+        executor = PlanExecutor(
+            timing=timing, compiler=PlanCompilerConfig(mode="staged"))
+        record = executor.execute(net, plan, start_time=3.0)
+        assert record.stage_count == 2
+        assert record.max_transient_overload == 0.0
+        assert record.epsilon == 0.0
+        # Each stage past the first costs one extra install round trip.
+        assert record.install_time == pytest.approx(
+            timing.install_time(len(plan.flow_plans), stages=2))
+        assert record.install_time > timing.install_time(
+            len(plan.flow_plans))
+        assert record.finish_setup_time == pytest.approx(
+            3.0 + record.migration_time + record.install_time)
+
+    def test_augmented_record_reports_overshoot(self, planned):
+        net, _, plan = planned
+        executor = PlanExecutor(
+            compiler=PlanCompilerConfig(mode="augmented", epsilon=0.1))
+        record = executor.execute(net, plan, start_time=0.0)
+        assert record.stage_count == 1
+        assert record.epsilon == 0.1
+        assert record.max_transient_overload == pytest.approx(0.05)
+
+
+class TestStagedSchedulers:
+    def test_predict_stages_matches_compile(self, planned):
+        net, _, plan = planned
+        sched = StagedLMTFScheduler(alpha=1)
+        assert sched.predict_stages(net, plan) == 2
+        augmented = StagedLMTFScheduler(alpha=1, mode="augmented",
+                                        epsilon=0.1)
+        assert augmented.predict_stages(net, plan) == 1
+
+    def _probe(self, event_id, arrival, seq):
+        event = make_event([ab_flow(f"{event_id}-f", 5.0)],
+                           arrival_time=arrival, label=event_id)
+        queued = QueuedEvent(event=event, seq=seq)
+        plan = EventPlan(event=event, flow_plans=(
+            FlowPlan(flow=event.flows[0], path=TOP),))
+        return queued, plan
+
+    def test_stage_count_breaks_cost_ties(self):
+        # Both probes cost 0; the later arrival compiles shorter, so the
+        # staged pick inverts the FIFO order — exactly the tie-break rule.
+        sched = StagedLMTFScheduler(alpha=1)
+        first = self._probe("early", arrival=0.0, seq=0)
+        second = self._probe("late", arrival=1.0, seq=1)
+        stages = {"early": 3, "late": 1}
+        sched.predict_stages = (
+            lambda state, plan: stages[plan.event.label])
+        ctx = types.SimpleNamespace(network=None)
+        picked = sched.pick_staged(ctx, [first, second])
+        assert picked is not None
+        (queued, _), predicted = picked
+        assert queued.event.label == "late"
+        assert predicted == 1
+
+    def test_equal_stages_falls_back_to_arrival_order(self):
+        sched = StagedLMTFScheduler(alpha=1)
+        first = self._probe("early", arrival=0.0, seq=0)
+        second = self._probe("late", arrival=1.0, seq=1)
+        sched.predict_stages = lambda state, plan: 1
+        ctx = types.SimpleNamespace(network=None)
+        picked = sched.pick_staged(ctx, [first, second])
+        assert picked is not None
+        assert picked[0][0].event.label == "early"
+
+    def test_decide_reports_predicted_stages(self, planned):
+        net, _, plan = planned
+        queued = QueuedEvent(event=plan.event)
+        ctx = types.SimpleNamespace(network=net)
+        for sched in (StagedLMTFScheduler(alpha=1),
+                      StagedPLMTFScheduler(alpha=1)):
+            decision = sched.decide(ctx, [(queued, plan)], ops=1)
+            assert [a.plan for a in decision.admissions] == [plan]
+            assert decision.predicted_stages == {plan.event.event_id: 2}
+
+
+class TestStagedVsAtomicParity:
+    def test_settled_loads_identical(self, planned):
+        net, _, plan = planned
+        twin, _ = diamond_setup()
+        twin.place(cd_flow("bgt", 45.0), BG_TOP)
+        twin.place(cd_flow("bgb", 10.0), BG_BOT)
+        apply_plan(net, plan)
+        apply_stages(twin, compile_plan(
+            twin, plan, PlanCompilerConfig(mode="staged")))
+        assert ({lk: net.used(*lk) for lk in net.links()}
+                == {lk: twin.used(*lk) for lk in twin.links()})

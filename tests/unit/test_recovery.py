@@ -60,12 +60,13 @@ def _clean_crashpoints(monkeypatch):
 
 
 def build_service(state_dir, resume=False, scheduler=None, max_events=12,
-                  snapshot_every=2.0):
+                  snapshot_every=2.0, compile_mode="atomic"):
     """A deterministic diamond-network service; rebuildable bit-identically."""
     net, provider = diamond_setup()
     sim = UpdateSimulator(
         net, provider, scheduler or FIFOScheduler(),
-        config=SimulationConfig(verify_invariants=True, max_deferrals=4))
+        config=SimulationConfig(verify_invariants=True, max_deferrals=4,
+                                compile_mode=compile_mode))
     trace = SyntheticTrace(DIAMOND_HOSTS, seed=3, demand_range=(2.0, 10.0))
     generator = EventGenerator(
         trace, config=EventGeneratorConfig(min_flows=1, max_flows=3),
@@ -349,6 +350,16 @@ class TestTampering:
         with pytest.raises(RecoveryError, match="scheduler"):
             build_service(state, resume=True,
                           scheduler=LMTFScheduler(alpha=2, seed=5)).serve()
+
+    def test_compile_config_mismatch_rejected(self, tmp_path, monkeypatch):
+        """A checkpoint written under atomic compilation refuses to resume
+        staged: the schedule would diverge from the journaled prefix."""
+        state = self.crash_state(tmp_path, monkeypatch)
+        set_flow_id_state(0)
+        set_event_id_state(0)
+        with pytest.raises(RecoveryError, match="compile config"):
+            build_service(state, resume=True,
+                          compile_mode="staged").serve()
 
 
 class TestStateDirGuards:

@@ -279,6 +279,36 @@ class TestExporter:
         assert "repro_events_completed_total 3" in rendered
         assert "repro_engine_pending 0" in rendered
 
+    def test_plan_stage_counter_tracks_admissions(self):
+        # Atomic mode: every admission applies exactly one stage, so the
+        # stage counter equals the admission counter.
+        sim = build_sim()
+        exporter = CounterExporter()
+        sim.attach(exporter)
+        sim.submit([make_event([ab_flow(f"s{i}", 5.0, 1.0)],
+                               label=f"s{i}") for i in range(3)])
+        sim.run()
+        counts = exporter.counters
+        assert counts["admissions"] == 3
+        assert counts["plan_stages"] == 3
+        rendered = exporter.render()
+        assert "repro_plan_stages_total 3" in rendered
+
+    def test_compile_gauges_rendered(self):
+        sim = build_sim(config=SimulationConfig(
+            verify_invariants=True, compile_mode="augmented",
+            compile_epsilon=0.25))
+        exporter = CounterExporter()
+        sim.attach(exporter)
+        sim.submit([make_event([ab_flow("g0", 5.0, 1.0)], label="g0")])
+        sim.run()
+        rendered = exporter.render()
+        assert "# TYPE repro_compile_epsilon gauge" in rendered
+        assert "repro_compile_epsilon 0.25" in rendered
+        assert "# TYPE repro_max_transient_overload gauge" in rendered
+        # Single-flow diamond events never over-subscribe a link.
+        assert "repro_max_transient_overload 0.0" in rendered
+
     def test_help_text_escaped_per_exposition_format(self, monkeypatch):
         """``# HELP`` lines must escape ``\\`` and newlines, not write
         them verbatim — a raw newline tears the line-oriented exposition
@@ -319,6 +349,8 @@ class TestExporter:
         # 5 FIFO rounds -> digests at rounds 2 and 4.
         assert len(sink) == 2
         assert "round=2" in sink[0] and "round=4" in sink[1]
+        # The digest carries the cumulative compiled-stage count.
+        assert "stages=2" in sink[0] and "stages=4" in sink[1]
 
     def test_stats_line_validation(self):
         with pytest.raises(ValueError, match="every"):
